@@ -1,0 +1,50 @@
+// Command charlib reproduces the paper's Figure 1: the delay speed-up and
+// leakage increase of a 45nm inverter across forward body bias voltages,
+// obtained from the transient and DC solvers of the spice package.
+//
+// Usage:
+//
+//	charlib [-step 0.05] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		step = flag.Float64("step", 0.05, "sweep step in volts")
+		csv  = flag.Bool("csv", false, "emit CSV instead of a table")
+	)
+	flag.Parse()
+
+	pts, err := repro.Figure1(*step)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "charlib:", err)
+		os.Exit(1)
+	}
+
+	t := report.New(
+		"Figure 1 — inverter delay and leakage vs body bias (45nm, simulated)",
+		"vbsn(V)", "vbsp(V)", "speedup", "leakage(x)")
+	for _, p := range pts {
+		t.Add(
+			fmt.Sprintf("%.2f", p.Vbs),
+			fmt.Sprintf("%.2f", p.VbsP),
+			fmt.Sprintf("%5.1f%%", p.Speedup*100),
+			fmt.Sprintf("%8.2f", p.LeakFactor),
+		)
+	}
+	if *csv {
+		fmt.Print(t.CSV())
+		return
+	}
+	fmt.Print(t.String())
+	fmt.Println("\nnote: beyond 0.5V the forward source-body junction dominates leakage,")
+	fmt.Println("which is why the allocation grid stops there (11 levels at 50mV).")
+}

@@ -1,0 +1,115 @@
+// Command fbbflow runs the complete clustered-FBB flow on one benchmark:
+// generate, place, time, allocate (heuristic and optionally ILP), and check
+// the layout implementation.
+//
+// Usage:
+//
+//	fbbflow -bench c5315 -beta 0.05 -c 3 [-ilp] [-ilp-timeout 30s] [-ascii]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/layout"
+	"repro/internal/netlist"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		bench      = flag.String("bench", "c5315", "benchmark name ("+strings.Join(repro.Benchmarks(), ", ")+")")
+		beta       = flag.Float64("beta", 0.05, "slowdown coefficient to compensate")
+		c          = flag.Int("c", 3, "maximum clusters (incl. no-body-bias)")
+		runILP     = flag.Bool("ilp", false, "also run the exact ILP allocator")
+		ilpTimeout = flag.Duration("ilp-timeout", 30*time.Second, "ILP time budget")
+		ascii      = flag.Bool("ascii", false, "print the clustered layout (Figure 3 style)")
+		timing     = flag.Bool("timing", false, "print a timing report (slack histogram, worst paths)")
+		defOut     = flag.String("def", "", "write the placement to this DEF file")
+		vOut       = flag.String("verilog", "", "write the mapped netlist to this Verilog file")
+	)
+	flag.Parse()
+
+	res, err := repro.Run(repro.Config{
+		Benchmark:    *bench,
+		Beta:         *beta,
+		MaxClusters:  *c,
+		RunILP:       *runILP,
+		ILPTimeLimit: *ilpTimeout,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fbbflow:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%s: %d gates (%d FF), %d rows, Dcrit %.0f ps, %d timing constraints at beta=%.0f%%\n",
+		res.Design.Name, res.Design.Gates, res.Design.DFFs, res.Rows,
+		res.DcritPS, res.Constraints, *beta*100)
+
+	t := report.New("", "allocator", "leakage(uW)", "overhead(uW)", "savings", "clusters", "vbs levels", "runtime")
+	add := func(label string, s *core.Solution, rt time.Duration) {
+		sav := core.Savings(res.Single, s)
+		var vbs []string
+		for _, v := range res.Problem.VbsOf(s) {
+			vbs = append(vbs, fmt.Sprintf("%.2fV", v))
+		}
+		t.Add(label,
+			fmt.Sprintf("%.3f", s.TotalLeakNW/1000),
+			fmt.Sprintf("%.3f", s.ExtraLeakNW/1000),
+			fmt.Sprintf("%.1f%%", sav),
+			fmt.Sprint(s.Clusters),
+			strings.Join(vbs, " "),
+			rt.Round(time.Microsecond).String(),
+		)
+	}
+	add("single-BB", res.Single, 0)
+	add("heuristic", res.Heuristic, res.HeuristicTime)
+	if res.ILP != nil {
+		add("ILP("+res.ILPStatus+")", res.ILP, res.ILPTime)
+	} else if *runILP {
+		t.Add("ILP", "-", "-", "-", "-", "-", res.ILPTime.Round(time.Millisecond).String())
+	}
+	fmt.Print(t.String())
+
+	if res.Layout != nil {
+		fmt.Printf("layout: %d bias pair(s), max row-util increase %.1f%%, "+
+			"%d well boundaries, area overhead %.2f%%\n",
+			len(res.Layout.VbsLevels), res.Layout.MaxUtilIncrease*100,
+			res.Layout.WellSepBoundaries, res.Layout.AreaOverheadPct)
+	}
+	if *ascii && res.Layout != nil {
+		fmt.Println()
+		fmt.Print(layout.RenderASCII(res.Placement, res.Heuristic.Assign, res.Layout))
+	}
+	if *timing {
+		fmt.Println()
+		fmt.Print(res.Timing.TextReport(5))
+	}
+	if *defOut != "" {
+		writeArtifact(*defOut, func(f *os.File) error { return res.Placement.WriteDEF(f) })
+	}
+	if *vOut != "" {
+		writeArtifact(*vOut, func(f *os.File) error {
+			return netlist.WriteVerilog(f, res.Placement.Design)
+		})
+	}
+}
+
+func writeArtifact(path string, write func(*os.File) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fbbflow:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := write(f); err != nil {
+		fmt.Fprintln(os.Stderr, "fbbflow:", err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote", path)
+}

@@ -1,0 +1,92 @@
+// Command table1 regenerates the paper's Table 1: for each benchmark and
+// slowdown coefficient, the single-voltage baseline leakage, the ILP and
+// heuristic savings at C=2 and C=3, and the number of timing constraints.
+//
+// The ILP is skipped on designs above -ilp-gates (the paper likewise reports
+// no ILP results for Industrial2/3, where lp_solve did not converge).
+//
+// Usage:
+//
+//	table1 [-benchmarks c1355,c3540] [-betas 0.05,0.10]
+//	       [-ilp-timeout 20s] [-ilp-gates 5000] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		benchList  = flag.String("benchmarks", "", "comma-separated benchmark names (default: all)")
+		betaList   = flag.String("betas", "0.05,0.10", "comma-separated slowdown coefficients")
+		ilpTimeout = flag.Duration("ilp-timeout", 20*time.Second, "ILP time budget per instance")
+		ilpGates   = flag.Int("ilp-gates", 5000, "skip the ILP above this gate count")
+		csv        = flag.Bool("csv", false, "emit CSV")
+	)
+	flag.Parse()
+
+	opts := repro.Table1Options{
+		ILPTimeLimit: *ilpTimeout,
+		ILPGateLimit: *ilpGates,
+	}
+	if *benchList != "" {
+		opts.Benchmarks = strings.Split(*benchList, ",")
+	}
+	for _, s := range strings.Split(*betaList, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "table1: bad beta:", s)
+			os.Exit(1)
+		}
+		opts.Betas = append(opts.Betas, v)
+	}
+
+	rows, err := repro.Table1(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "table1:", err)
+		os.Exit(1)
+	}
+
+	t := report.New(
+		"Table 1 — leakage savings of clustered FBB vs block-level single-voltage FBB",
+		"benchmark", "gates", "rows", "beta", "singleBB(uW)",
+		"ILP C=2", "ILP C=3", "heur C=2", "heur C=3", "constr")
+	ilpCell := func(valid, proven bool, v float64) string {
+		if !valid {
+			return "-"
+		}
+		mark := ""
+		if !proven {
+			mark = "*"
+		}
+		return fmt.Sprintf("%.2f%%%s", v, mark)
+	}
+	for _, r := range rows {
+		t.Add(
+			r.Benchmark,
+			fmt.Sprint(r.Gates),
+			fmt.Sprint(r.Rows),
+			fmt.Sprintf("%.0f%%", r.BetaPct),
+			fmt.Sprintf("%.3f", r.SingleBBuW),
+			ilpCell(r.ILPValidC2, r.ILPProvenC2, r.ILPSavC2),
+			ilpCell(r.ILPValidC3, r.ILPProvenC3, r.ILPSavC3),
+			fmt.Sprintf("%.2f%%", r.HeurSavC2),
+			fmt.Sprintf("%.2f%%", r.HeurSavC3),
+			fmt.Sprint(r.Constraints),
+		)
+	}
+	if *csv {
+		fmt.Print(t.CSV())
+		return
+	}
+	fmt.Print(t.String())
+	fmt.Println("\n* incumbent at the time budget (optimality not proven); - not run (paper: did not converge)")
+}

@@ -1,0 +1,51 @@
+// Clustersweep reproduces the paper's in-text experiment: sweeping the
+// cluster budget C from 2 to 11 on the c5315-class design at beta = 5%.
+//
+// The paper observed a marginal savings increase of only 2.56% across the
+// whole sweep, concluding that "one can implement a very low area overhead
+// layout with few body bias voltages but still achieve optimal savings" —
+// the justification for the two-bias-pair layout style. Run with:
+//
+//	go run ./examples/clustersweep [-heuristic]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	heuristicOnly := flag.Bool("heuristic", false, "sweep with the greedy heuristic instead of the ILP")
+	flag.Parse()
+
+	limit := 10 * time.Second
+	if *heuristicOnly {
+		limit = 0
+	}
+	pts, err := repro.ClusterSweep("c5315", 0.05, 2, 11, limit)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("c5315, beta = 5%: leakage savings vs single-voltage FBB")
+	fmt.Println()
+	max := 0.0
+	for _, p := range pts {
+		if p.SavingsPct > max {
+			max = p.SavingsPct
+		}
+	}
+	for _, p := range pts {
+		bar := strings.Repeat("#", int(p.SavingsPct/max*40+0.5))
+		fmt.Printf("C=%2d  %6.2f%%  %s\n", p.C, p.SavingsPct, bar)
+	}
+	gain := pts[len(pts)-1].SavingsPct - pts[0].SavingsPct
+	fmt.Printf("\nmarginal gain C=2 -> C=11: %.2f%% (paper: 2.56%%)\n", gain)
+	fmt.Println("conclusion: two bias pairs (C=3) capture nearly all of the benefit,")
+	fmt.Println("so the row layout never needs more than two routed vbs pairs.")
+}

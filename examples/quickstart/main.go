@@ -1,0 +1,55 @@
+// Quickstart: the shortest path through the ClusterFBB API.
+//
+// A c5315-class design is generated, placed into standard-cell rows, timed,
+// and compensated for a 5% process slowdown with at most three clusters
+// (no-body-bias plus two forward-bias voltages), exactly the configuration
+// the paper's layout supports. Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro"
+	"repro/internal/core"
+)
+
+func main() {
+	res, err := repro.Run(repro.Config{
+		Benchmark:   "c5315", // one of repro.Benchmarks()
+		Beta:        0.05,    // compensate a 5% slowdown
+		MaxClusters: 3,       // NBB + two bias voltages
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("design    : %s (%d gates in %d rows)\n",
+		res.Design.Name, res.Design.Gates, res.Rows)
+	fmt.Printf("timing    : Dcrit %.0f ps, %d violating-path constraints at beta=5%%\n",
+		res.DcritPS, res.Constraints)
+
+	fmt.Printf("\nblock-level FBB (the prior art baseline):\n")
+	fmt.Printf("  every row at vbs=%.2fV -> %.3f uW total leakage\n",
+		res.Problem.VbsOf(res.Single)[0], res.Single.TotalLeakNW/1000)
+
+	fmt.Printf("\nrow-clustered FBB (this paper):\n")
+	var vbs []string
+	for _, v := range res.Problem.VbsOf(res.Heuristic) {
+		vbs = append(vbs, fmt.Sprintf("%.2fV", v))
+	}
+	fmt.Printf("  %d clusters at vbs = %s\n", res.Heuristic.Clusters, strings.Join(vbs, ", "))
+	fmt.Printf("  %.3f uW total leakage -> %.1f%% savings in %v\n",
+		res.Heuristic.TotalLeakNW/1000,
+		core.Savings(res.Single, res.Heuristic),
+		res.HeuristicTime)
+
+	fmt.Printf("\nphysical implementation:\n")
+	fmt.Printf("  %d bias pair(s) routed, max row-utilization increase %.1f%%,\n",
+		len(res.Layout.VbsLevels), res.Layout.MaxUtilIncrease*100)
+	fmt.Printf("  %d well-separation boundaries, die-area overhead %.2f%%\n",
+		res.Layout.WellSepBoundaries, res.Layout.AreaOverheadPct)
+}

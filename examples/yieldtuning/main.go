@@ -1,0 +1,86 @@
+// Yieldtuning runs the system-level experiment that motivates the paper:
+// a Monte-Carlo population of dies with die-to-die, spatially correlated
+// within-die and random threshold variation is timed, sensed by on-die
+// monitors, and the slow dies are pulled back to nominal speed with
+// row-clustered FBB ("bring the slow dies back to within the range of
+// acceptable specs"). Run with:
+//
+//	go run ./examples/yieldtuning [-bench c1355] [-dies 200] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"repro"
+	"repro/internal/place"
+	"repro/internal/sta"
+	"repro/internal/tech"
+	"repro/internal/variation"
+)
+
+func main() {
+	var (
+		bench = flag.String("bench", "c1355", "benchmark name")
+		dies  = flag.Int("dies", 200, "Monte-Carlo population size")
+		seed  = flag.Int64("seed", 1, "sampling seed")
+	)
+	flag.Parse()
+
+	pl, nom, err := repro.NominalTiming(*bench)
+	if err != nil {
+		log.Fatal(err)
+	}
+	proc := tech.Default45nm()
+	model := variation.Default()
+
+	fmt.Printf("%s: %d gates, nominal Dcrit %.0f ps\n", *bench, len(pl.Design.Gates), nom.DcritPS)
+	fmt.Printf("variation: sigma(d2d)=%.0fmV sigma(sys)=%.0fmV sigma(rnd)=%.0fmV\n\n",
+		model.SigmaD2DmV, model.SigmaSysmV, model.SigmaRndmV)
+
+	// Slowdown histogram before tuning.
+	fmt.Println("die slowdown distribution (before tuning):")
+	histogram(pl, nom, proc, model, *dies, *seed)
+
+	st, err := variation.YieldStudy(pl, proc, model, *dies, *seed,
+		variation.TuneOptions{GuardbandPct: 0.005})
+	if err != nil {
+		log.Fatal(err)
+	}
+	before, after := st.YieldPct()
+	fmt.Printf("\nparametric yield : %5.1f%%  ->  %5.1f%%  (%d dies)\n", before, after, st.Dies)
+	fmt.Printf("dies tuned       : %d (mean %.1f allocation iterations, %.1f clusters)\n",
+		st.TunedDies, st.MeanTuneIters, st.MeanClustersPerTuned)
+	fmt.Printf("tuning failures  : %d (beyond the FBB compensation range)\n", st.FailedCompensations)
+	fmt.Printf("mean leakage     : %.2f uW -> %.2f uW (+%.1f%% spent on compensation)\n",
+		st.MeanLeakBeforeNW/1000, st.MeanLeakAfterNW/1000,
+		100*(st.MeanLeakAfterNW-st.MeanLeakBeforeNW)/st.MeanLeakBeforeNW)
+	fmt.Printf("worst die        : %+.1f%% slow\n", st.WorstBetaPct)
+}
+
+func histogram(pl *place.Placement, nom *sta.Timing, proc *tech.Process,
+	m variation.Model, dies int, seed int64) {
+	bins := make([]int, 9) // <-6, -6..-4, ..., 8..10, >10 (%)
+	for i := 0; i < dies; i++ {
+		die := m.Sample(pl, proc, seed+int64(i)*7919)
+		tm, err := die.Timing(pl)
+		if err != nil {
+			log.Fatal(err)
+		}
+		beta := (tm.DcritPS/nom.DcritPS - 1) * 100
+		bin := int((beta + 6) / 2)
+		if bin < 0 {
+			bin = 0
+		}
+		if bin >= len(bins) {
+			bin = len(bins) - 1
+		}
+		bins[bin]++
+	}
+	labels := []string{"< -4%", "-4..-2", "-2..0", "0..2", "2..4", "4..6", "6..8", "8..10", "> 10%"}
+	for i, n := range bins {
+		fmt.Printf("  %-7s %4d %s\n", labels[i], n, strings.Repeat("*", n*60/dies))
+	}
+}

@@ -1,0 +1,324 @@
+// Package core implements the paper's contribution: physically clustered
+// forward body biasing at standard-cell row granularity.
+//
+// Given a placed and timed design, a slowdown coefficient beta (every path
+// delay degraded by 1+beta), a body-bias voltage grid, and a maximum cluster
+// count C, the allocator partitions the rows into at most C clusters and
+// assigns each cluster one bias voltage so that every degraded path meets
+// the nominal critical delay Dcrit, at minimum leakage overhead.
+//
+// Two allocators are provided, mirroring the paper's section 4:
+//
+//   - an exact ILP (equations 1-5) solved by branch and bound, and
+//   - the linear-time two-pass greedy heuristic (figures 4-5): PassOne finds
+//     the lowest uniform voltage jopt meeting timing (this is also the
+//     "single BB" block-level baseline the paper compares against), PassTwo
+//     drops rows, least-timing-critical first, to lower voltages until
+//     timing breaks, locking a cluster at each break.
+//
+// Sign convention: the paper writes the timing constraints as
+// sum(a_ijk * x_ij) <= b_k with b_k = Dcrit - p_k(1+beta) (negative for a
+// violating path) while describing a_ijk as a positive delay reduction. We
+// implement the evident intent: the total reduction on path k must reach
+// req_k = p_k(1+beta) - Dcrit > 0. Paths with req_k <= 0 are pruned, which
+// matches the paper's constraint counts growing with beta.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/place"
+	"repro/internal/power"
+	"repro/internal/sta"
+	"repro/internal/tech"
+)
+
+// feasTolPS is the timing feasibility tolerance in picoseconds.
+const feasTolPS = 1e-6
+
+// RowContrib is one row's per-level delay reduction on one path.
+type RowContrib struct {
+	// Row is the placement row index.
+	Row int
+	// DeltaPS[j] is the path-delay reduction (ps) contributed by this
+	// row at bias level j (the paper's a_ijk for fixed k).
+	DeltaPS []float64
+}
+
+// PathConstraint is one timing constraint of the violating-path set.
+type PathConstraint struct {
+	// ReqPS is the required total delay reduction (ps).
+	ReqPS float64
+	// Rows lists the contributing rows (rows without cells on the path
+	// are absent).
+	Rows []RowContrib
+	// PathIdx indexes the originating sta path (-1 for merged
+	// constraints that kept a tighter requirement).
+	PathIdx int
+}
+
+// Problem is a fully constructed FBB clustering instance.
+type Problem struct {
+	Pl   *place.Placement
+	Tm   *sta.Timing
+	Grid tech.BiasGrid
+	// Beta is the slowdown coefficient (0.05 = all paths 5% slower).
+	Beta float64
+	// MaxClusters is C, the maximum number of distinct bias levels in a
+	// solution, counting no-body-bias as a cluster (the paper's layout
+	// supports at most 3: NBB plus two routed bias pairs).
+	MaxClusters int
+	// MaxBiasPairs caps the distinct non-NBB levels: each one needs a
+	// (vbsn, vbsp) pair routed on top metal, and the paper's row style
+	// can route at most two without growing the die.
+	MaxBiasPairs int
+
+	// N is the row count, P the level count.
+	N, P int
+	// Constraints is the pruned, deduplicated constraint set; its length
+	// is the paper's "No.Constr" column.
+	Constraints []PathConstraint
+	// RawViolations counts violating paths before signature merging
+	// (>= len(Constraints)); the gap measures how much the row-level
+	// abstraction compresses the path set.
+	RawViolations int
+	// RowLeakNW[i][j] is the leakage overhead (nW) of row i at level j
+	// (the paper's L_ij, expressed as increase over NBB).
+	RowLeakNW [][]float64
+	// Involved marks rows contributing to at least one constraint.
+	Involved []bool
+
+	// rowCons[i] lists (constraint index, position in Rows) per row, for
+	// incremental timing checks.
+	rowCons [][]rowConRef
+}
+
+type rowConRef struct {
+	k   int // constraint index
+	pos int // index into Constraints[k].Rows
+}
+
+// Options configure problem construction.
+type Options struct {
+	// Beta is the slowdown coefficient; must be positive.
+	Beta float64
+	// MaxClusters is C (default 3, the paper's layout limit).
+	MaxClusters int
+	// MaxBiasPairs caps distinct non-NBB levels (default 2, the routing
+	// limit of section 3.3; raise it for cluster-count sweep studies).
+	MaxBiasPairs int
+}
+
+// BuildProblem constructs the clustering instance from a placed, timed
+// design: computes the L_ij leakage table, extracts the violating paths
+// under beta, groups their cells by row into the a_ijk coefficients, and
+// merges duplicate constraints keeping the tightest requirement.
+func BuildProblem(pl *place.Placement, tm *sta.Timing, opts Options) (*Problem, error) {
+	if opts.Beta <= 0 {
+		return nil, errors.New("core: beta must be positive")
+	}
+	if opts.MaxClusters == 0 {
+		opts.MaxClusters = 3
+	}
+	if opts.MaxClusters < 1 {
+		return nil, errors.New("core: MaxClusters must be >= 1")
+	}
+	if opts.MaxBiasPairs == 0 {
+		opts.MaxBiasPairs = 2
+	}
+	if opts.MaxBiasPairs < 1 {
+		return nil, errors.New("core: MaxBiasPairs must be >= 1")
+	}
+	grid := pl.Lib.Grid
+	p := &Problem{
+		Pl:           pl,
+		Tm:           tm,
+		Grid:         grid,
+		Beta:         opts.Beta,
+		MaxClusters:  opts.MaxClusters,
+		MaxBiasPairs: opts.MaxBiasPairs,
+		N:            pl.NumRows,
+		P:            grid.NumLevels(),
+		RowLeakNW:    power.RowLeakTable(pl),
+		Involved:     make([]bool, pl.NumRows),
+	}
+
+	// Extract violating paths and their per-row reduction vectors.
+	type sigEntry struct{ idx int }
+	sigs := map[string]sigEntry{}
+	var key strings.Builder
+	for pi, path := range tm.Paths {
+		req := path.DelayPS*(1+opts.Beta) - tm.DcritPS
+		if req <= feasTolPS {
+			continue // meets timing even degraded; prune
+		}
+		p.RawViolations++
+		// Group the path's gates by row; delta per level is the sum of
+		// the gates' degraded-delay reductions.
+		perRow := map[int][]float64{}
+		for _, g := range path.Gates {
+			row := pl.RowOf[g]
+			dv := perRow[row]
+			if dv == nil {
+				dv = make([]float64, p.P)
+				perRow[row] = dv
+			}
+			c := pl.Design.Gates[g].Cell
+			degraded := tm.GateDelayPS[g] * (1 + opts.Beta)
+			for j := 0; j < p.P; j++ {
+				dv[j] += degraded * (1 - c.DelayFactor[j])
+			}
+		}
+		rows := make([]int, 0, len(perRow))
+		for r := range perRow {
+			rows = append(rows, r)
+		}
+		sort.Ints(rows)
+		pc := PathConstraint{ReqPS: req, PathIdx: pi}
+		key.Reset()
+		for _, r := range rows {
+			dv := perRow[r]
+			pc.Rows = append(pc.Rows, RowContrib{Row: r, DeltaPS: dv})
+			// The signature covers every level: constraints may only
+			// merge when their whole coefficient vectors agree.
+			fmt.Fprintf(&key, "%d:", r)
+			for j := 1; j < p.P; j++ {
+				fmt.Fprintf(&key, "%.6f,", dv[j])
+			}
+			key.WriteByte(';')
+		}
+		// Merge constraints with identical row/delta signatures: only
+		// the tightest requirement binds.
+		k := key.String()
+		if e, ok := sigs[k]; ok {
+			if req > p.Constraints[e.idx].ReqPS {
+				p.Constraints[e.idx].ReqPS = req
+				p.Constraints[e.idx].PathIdx = -1
+			}
+			continue
+		}
+		sigs[k] = sigEntry{idx: len(p.Constraints)}
+		p.Constraints = append(p.Constraints, pc)
+	}
+
+	// Row-to-constraint index and involvement flags.
+	p.rowCons = make([][]rowConRef, p.N)
+	for k := range p.Constraints {
+		for pos, rc := range p.Constraints[k].Rows {
+			p.Involved[rc.Row] = true
+			p.rowCons[rc.Row] = append(p.rowCons[rc.Row], rowConRef{k: k, pos: pos})
+		}
+	}
+	return p, nil
+}
+
+// NumConstraints returns M, the paper's "No.Constr".
+func (p *Problem) NumConstraints() int { return len(p.Constraints) }
+
+// CheckTiming reports whether a row-to-level assignment meets every path
+// constraint (the paper's Figure 4 routine).
+func (p *Problem) CheckTiming(assign []int) bool {
+	for k := range p.Constraints {
+		c := &p.Constraints[k]
+		sigma := 0.0
+		for _, rc := range c.Rows {
+			sigma += rc.DeltaPS[assign[rc.Row]]
+		}
+		if sigma < c.ReqPS-feasTolPS {
+			return false
+		}
+	}
+	return true
+}
+
+// Clusters returns the number of distinct bias levels used by an assignment
+// (no-body-bias counts as a cluster when used, per the paper's layout
+// accounting).
+func Clusters(assign []int) int {
+	seen := map[int]struct{}{}
+	for _, j := range assign {
+		seen[j] = struct{}{}
+	}
+	return len(seen)
+}
+
+// BiasPairs returns the number of distinct non-NBB levels of an assignment,
+// i.e. the (vbsn, vbsp) pairs the layout must route.
+func BiasPairs(assign []int) int {
+	seen := map[int]struct{}{}
+	for _, j := range assign {
+		if j != 0 {
+			seen[j] = struct{}{}
+		}
+	}
+	return len(seen)
+}
+
+// Solution is one FBB allocation.
+type Solution struct {
+	// Assign maps each row to its bias level.
+	Assign []int
+	// ExtraLeakNW is the leakage overhead spent over the NBB corner.
+	ExtraLeakNW float64
+	// TotalLeakNW is the absolute design leakage under the assignment
+	// (the paper's Table 1 reports this for the single-BB baseline, and
+	// savings percentages are relative to it).
+	TotalLeakNW float64
+	// Clusters is the number of distinct levels used.
+	Clusters int
+	// Method identifies the allocator ("single-bb", "heuristic", "ilp").
+	Method string
+	// Proven is true when the ILP proved optimality (always true for
+	// single-bb and never for the heuristic).
+	Proven bool
+}
+
+// solutionFor packages an assignment.
+func (p *Problem) solutionFor(assign []int, method string, proven bool) (*Solution, error) {
+	extra, err := power.AssignExtraLeakageNW(p.Pl, assign)
+	if err != nil {
+		return nil, err
+	}
+	return &Solution{
+		Assign:      append([]int(nil), assign...),
+		ExtraLeakNW: extra,
+		TotalLeakNW: power.DesignLeakageNW(p.Pl.Design) + extra,
+		Clusters:    Clusters(assign),
+		Method:      method,
+		Proven:      proven,
+	}, nil
+}
+
+// VbsOf returns the bias voltages (NMOS side) of the clusters used by a
+// solution, ascending.
+func (p *Problem) VbsOf(s *Solution) []float64 {
+	seen := map[int]struct{}{}
+	for _, j := range s.Assign {
+		seen[j] = struct{}{}
+	}
+	levels := make([]int, 0, len(seen))
+	for j := range seen {
+		levels = append(levels, j)
+	}
+	sort.Ints(levels)
+	out := make([]float64, len(levels))
+	for i, j := range levels {
+		out[i] = p.Grid.Voltage(j)
+	}
+	return out
+}
+
+// Savings returns the percentage of total leakage saved by a solution
+// relative to the single-voltage baseline, the paper's headline metric
+// (Table 1 reports the baseline as absolute microwatts and the savings
+// against that absolute figure, which is why they plateau below ~50%: the
+// no-body-bias floor cannot be saved).
+func Savings(single, sol *Solution) float64 {
+	if single.TotalLeakNW <= 0 {
+		return 0
+	}
+	return 100 * (single.TotalLeakNW - sol.TotalLeakNW) / single.TotalLeakNW
+}

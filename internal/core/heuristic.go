@@ -1,0 +1,286 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// PassOne finds the lowest uniform bias level meeting timing: assign every
+// row to level j for increasing j and check timing (the paper's Figure 5,
+// PASSONE). The result is jopt; the corresponding uniform assignment is the
+// block-level "single BB" baseline of Table 1.
+func (p *Problem) PassOne() (int, error) {
+	assign := make([]int, p.N)
+	for j := 0; j < p.P; j++ {
+		for i := range assign {
+			assign[i] = j
+		}
+		if p.CheckTiming(assign) {
+			return j, nil
+		}
+	}
+	return 0, fmt.Errorf("core: no uniform bias meets timing at beta=%.1f%% "+
+		"(design slowed beyond the FBB compensation range)", p.Beta*100)
+}
+
+// SingleBB returns the block-level single-voltage baseline: all rows at jopt.
+func (p *Problem) SingleBB() (*Solution, error) {
+	jopt, err := p.PassOne()
+	if err != nil {
+		return nil, err
+	}
+	assign := make([]int, p.N)
+	for i := range assign {
+		assign[i] = jopt
+	}
+	return p.solutionFor(assign, "single-bb", true)
+}
+
+// RowCriticality returns the paper's timing-criticality coefficient per row:
+// ct_i = sum over paths k of Q_ik / slack_k, where Q_ik counts the path's
+// cells in row i and the slack is taken under the degraded timing (floored
+// at one picosecond so violating paths dominate the ranking).
+func (p *Problem) RowCriticality() []float64 {
+	const minSlackPS = 1.0
+	ct := make([]float64, p.N)
+	for _, path := range p.Tm.Paths {
+		slack := p.Tm.DcritPS - path.DelayPS*(1+p.Beta)
+		if slack < minSlackPS {
+			slack = minSlackPS
+		}
+		w := 1 / slack
+		for _, g := range path.Gates {
+			ct[p.Pl.RowOf[g]] += w
+		}
+	}
+	return ct
+}
+
+// timingState evaluates constraints incrementally as rows move between
+// levels, making each heuristic step O(paths touching the row) instead of
+// O(all constraints).
+type timingState struct {
+	p        *Problem
+	assign   []int
+	sigma    []float64
+	violated int
+}
+
+func (p *Problem) newTimingState(assign []int) *timingState {
+	st := &timingState{p: p, assign: assign, sigma: make([]float64, len(p.Constraints))}
+	for k := range p.Constraints {
+		c := &p.Constraints[k]
+		for _, rc := range c.Rows {
+			st.sigma[k] += rc.DeltaPS[assign[rc.Row]]
+		}
+		if st.sigma[k] < c.ReqPS-feasTolPS {
+			st.violated++
+		}
+	}
+	return st
+}
+
+// move reassigns one row and updates the violation count.
+func (st *timingState) move(row, to int) {
+	from := st.assign[row]
+	if from == to {
+		return
+	}
+	st.assign[row] = to
+	for _, ref := range st.p.rowCons[row] {
+		c := &st.p.Constraints[ref.k]
+		rc := &c.Rows[ref.pos]
+		before := st.sigma[ref.k]
+		after := before - rc.DeltaPS[from] + rc.DeltaPS[to]
+		st.sigma[ref.k] = after
+		wasOK := before >= c.ReqPS-feasTolPS
+		isOK := after >= c.ReqPS-feasTolPS
+		switch {
+		case wasOK && !isOK:
+			st.violated++
+		case !wasOK && isOK:
+			st.violated--
+		}
+	}
+}
+
+func (st *timingState) feasible() bool { return st.violated == 0 }
+
+// HeuristicOptions toggle the post-passes of the greedy allocator, mainly
+// for ablation studies; the zero value enables everything.
+type HeuristicOptions struct {
+	// SkipReconcile disables the routing-cap enforcement pass.
+	SkipReconcile bool
+	// SkipRefine disables the final lowering sweep.
+	SkipRefine bool
+}
+
+// SolveHeuristic runs the two-pass greedy allocator (the paper's Figure 5).
+//
+// PassTwo interpretation (the published pseudocode reuses indices
+// ambiguously): rows are sorted by increasing timing criticality; starting
+// with every row at jopt, rows are dropped one at a time to the next lower
+// level. The first row whose drop violates timing is reverted, and all rows
+// still at the upper level are locked as one cluster. After C-1 lock events
+// the remaining rows may only move as a single block (so no new cluster can
+// appear). The walk continues level by level until no-body-bias is reached.
+// Complexity is O(P*N) row moves, each with an incremental timing check, so
+// the runtime is linear in the rows, as the paper claims.
+func (p *Problem) SolveHeuristic() (*Solution, error) {
+	return p.SolveHeuristicOpts(HeuristicOptions{})
+}
+
+// SolveHeuristicOpts is SolveHeuristic with ablation toggles.
+func (p *Problem) SolveHeuristicOpts(hopts HeuristicOptions) (*Solution, error) {
+	jopt, err := p.PassOne()
+	if err != nil {
+		return nil, err
+	}
+	assign := make([]int, p.N)
+	for i := range assign {
+		assign[i] = jopt
+	}
+	if jopt == 0 {
+		// Nothing to compensate; a single NBB cluster.
+		return p.solutionFor(assign, "heuristic", false)
+	}
+
+	// Rank rows by increasing criticality (least critical dropped first).
+	ct := p.RowCriticality()
+	order := make([]int, p.N)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return ct[order[a]] < ct[order[b]] })
+
+	st := p.newTimingState(assign)
+	if !st.feasible() {
+		return nil, errors.New("core: PassOne solution fails incremental check")
+	}
+
+	unlocked := order
+	lockEvents := 0
+	for level := jopt; level >= 1 && len(unlocked) > 0; level-- {
+		if lockEvents >= p.MaxClusters-1 {
+			// Only whole-block moves are allowed now: any split
+			// would create a cluster beyond C.
+			for _, r := range unlocked {
+				st.move(r, level-1)
+			}
+			if !st.feasible() {
+				for _, r := range unlocked {
+					st.move(r, level)
+				}
+				break
+			}
+			continue
+		}
+		var moved []int
+		lockedHere := false
+		for idx, r := range unlocked {
+			st.move(r, level-1)
+			if !st.feasible() {
+				st.move(r, level)
+				// Rows idx.. are more critical; lock them at
+				// this level as one cluster.
+				lockEvents++
+				lockedHere = true
+				_ = idx
+				break
+			}
+			moved = append(moved, r)
+		}
+		unlocked = moved
+		_ = lockedHere
+	}
+
+	if !st.feasible() {
+		return nil, errors.New("core: heuristic produced an infeasible assignment")
+	}
+	if !hopts.SkipReconcile {
+		p.reconcilePairs(st, assign)
+	}
+	if !hopts.SkipRefine {
+		p.refineDown(st, assign)
+	}
+	return p.solutionFor(assign, "heuristic", false)
+}
+
+// refineDown is a cleanup sweep after the greedy walk: every row retries the
+// lowest level already in use that keeps timing feasible. Lowering a row
+// strictly reduces leakage, can only remove clusters (levels may empty, none
+// appear), and tends to collapse isolated biased rows, which also trims the
+// layout's well-separation boundaries. Two sweeps suffice in practice; the
+// loop stops at the first sweep with no improvement.
+func (p *Problem) refineDown(st *timingState, assign []int) {
+	for sweep := 0; sweep < 4; sweep++ {
+		inUse := map[int]struct{}{}
+		for _, j := range assign {
+			inUse[j] = struct{}{}
+		}
+		levels := make([]int, 0, len(inUse))
+		for j := range inUse {
+			levels = append(levels, j)
+		}
+		sort.Ints(levels)
+		improved := false
+		for r := 0; r < p.N; r++ {
+			for _, j := range levels {
+				if j >= assign[r] {
+					break
+				}
+				from := assign[r]
+				st.move(r, j)
+				if st.feasible() {
+					improved = true
+					break
+				}
+				st.move(r, from)
+			}
+		}
+		if !improved {
+			return
+		}
+	}
+}
+
+// reconcilePairs enforces the routing cap of section 3.3: at most
+// MaxBiasPairs distinct non-NBB levels. When the greedy walk strands an
+// extra cluster above NBB, its rows are dropped to NBB if timing allows and
+// otherwise promoted to the next higher level in use — always feasible,
+// since more bias only adds slack.
+func (p *Problem) reconcilePairs(st *timingState, assign []int) {
+	for {
+		levels := map[int][]int{}
+		for row, j := range assign {
+			if j != 0 {
+				levels[j] = append(levels[j], row)
+			}
+		}
+		if len(levels) <= p.MaxBiasPairs {
+			return
+		}
+		lowest := -1
+		for j := range levels {
+			if lowest < 0 || j < lowest {
+				lowest = j
+			}
+		}
+		rows := levels[lowest]
+		next := 0
+		for j := range levels {
+			if j > lowest && (next == 0 || j < next) {
+				next = j
+			}
+		}
+		// Row by row: drop to NBB when timing allows (free), otherwise
+		// promote to the next level in use (small extra leakage).
+		for _, r := range rows {
+			st.move(r, 0)
+			if !st.feasible() {
+				st.move(r, next)
+			}
+		}
+	}
+}

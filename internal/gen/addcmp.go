@@ -1,0 +1,110 @@
+package gen
+
+import (
+	"repro/internal/cell"
+	"repro/internal/netlist"
+)
+
+// AddCmp7552 generates the c7552-class circuit: a 32-bit adder combined with
+// a magnitude comparator and parity checking (c7552 is a 32-bit
+// adder/comparator with parity). It computes a+b+cin, an incremented copy
+// a+1, the subtraction-based comparison flags, equality, and parities over
+// the operands and the sum.
+//
+// Inputs:  a0..a31, b0..b31, cin
+// Outputs: s0..s31 (sum), inc0..inc31 (a+1), cout, icout, eq, ltu, gtu,
+//
+//	apar, bpar, spar, szero
+func AddCmp7552(lib *cell.Library) *netlist.Design {
+	const w = 32
+	b := netlist.NewBuilder("c7552", lib)
+	a := b.PIBus("a", w)
+	x := b.PIBus("b", w)
+	cin := b.PI("cin")
+
+	// Main adder.
+	sum, cout := b.RippleAdder(a, x, cin)
+	b.OutputBus("s", sum)
+	b.Output("cout", cout)
+
+	// Incrementer (the second arithmetic unit of c7552).
+	zeros := make([]netlist.Signal, w)
+	for i := range zeros {
+		zeros[i] = netlist.Const(false)
+	}
+	inc, icout := b.RippleAdder(a, zeros, netlist.Const(true))
+	b.OutputBus("inc", inc)
+	b.Output("icout", icout)
+
+	// Magnitude comparison via a - b: borrow = NOT carry-out of a+~b+1.
+	nb := make([]netlist.Signal, w)
+	for i := range nb {
+		nb[i] = b.Not(x[i])
+	}
+	diff, subCout := b.RippleAdder(a, nb, netlist.Const(true))
+	ltu := b.Not(subCout)
+	diffZero := b.Nor(diff...)
+	b.Output("eq", diffZero)
+	b.Output("ltu", ltu)
+	b.Output("gtu", b.Nor(ltu, diffZero))
+
+	// Parity trees over operands and sum, plus per-byte parities of the
+	// sum (c7552 carries byte-sliced parity checking).
+	b.Output("apar", b.XorTree(a))
+	b.Output("bpar", b.XorTree(x))
+	b.Output("spar", b.XorTree(sum))
+	b.Output("szero", b.Nor(sum...))
+	for byteIdx := 0; byteIdx < w/8; byteIdx++ {
+		b.Output("sbpar"+string(rune('0'+byteIdx)), b.XorTree(sum[byteIdx*8:(byteIdx+1)*8]))
+	}
+
+	// Consistency compare between the two arithmetic units: s == inc
+	// (true when b+cin == 1), a self-checking structure.
+	eqBits := make([]netlist.Signal, w)
+	for i := 0; i < w; i++ {
+		eqBits[i] = b.Xnor(sum[i], inc[i])
+	}
+	b.Output("sieq", b.And(eqBits...))
+
+	b.SizeDrives()
+	return b.MustBuild()
+}
+
+// Adder128 generates the paper's "adder 128bits" benchmark: a registered
+// 128-bit adder with carry-skip groups. Operand and result registers make it
+// the only sequential datapath among the public benchmarks, matching its
+// DFF-heavy composition.
+//
+// Inputs:  a0..a127, b0..b127, cin
+// Outputs: s0..s127, cout (all registered)
+func Adder128(lib *cell.Library) *netlist.Design {
+	const w = 128
+	const group = 8
+	b := netlist.NewBuilder("adder128", lib)
+	a := b.DFFBus(b.PIBus("a", w))
+	x := b.DFFBus(b.PIBus("b", w))
+	cin := b.DFF(b.PI("cin"))
+
+	// Lower half: plain ripple carry. Upper half: carry-skip groups, the
+	// usual optimization where the carry has already travelled far.
+	sum, carry := b.RippleAdder(a[:w/2], x[:w/2], cin)
+	for g := w / 2 / group; g < w/group; g++ {
+		lo, hi := g*group, (g+1)*group
+		gsum, gcout := b.RippleAdder(a[lo:hi], x[lo:hi], carry)
+		sum = append(sum, gsum...)
+		// Carry-skip: the group propagates iff every bit position
+		// propagates (a XOR b); then the group carry-out equals the
+		// carry-in and can skip the ripple chain.
+		props := make([]netlist.Signal, group)
+		for i := lo; i < hi; i++ {
+			props[i-lo] = b.Xor(a[i], x[i])
+		}
+		pGroup := b.And(props...)
+		carry = b.Mux(pGroup, gcout, carry)
+	}
+	b.OutputBus("s", b.DFFBus(sum))
+	b.Output("cout", b.DFF(carry))
+
+	b.SizeDrives()
+	return b.MustBuild()
+}

@@ -1,0 +1,48 @@
+package gen
+
+import (
+	"repro/internal/cell"
+	"repro/internal/netlist"
+)
+
+// ECC32 generates the c1355-class circuit: a 32-bit single-error-correcting
+// decoder built on cross parity. The 32 data bits are arranged as a 4x8
+// grid; four row-parity and eight column-parity check bits accompany the
+// data. A single flipped data bit produces exactly one row syndrome and one
+// column syndrome, whose conjunction flips the bit back.
+//
+// Inputs:  d0..d31 (data), cr0..cr3 (row checks), cc0..cc7 (column checks)
+// Outputs: o0..o31 (corrected data), err (any syndrome active)
+func ECC32(lib *cell.Library) *netlist.Design {
+	b := netlist.NewBuilder("c1355", lib)
+	d := b.PIBus("d", 32)
+	cr := b.PIBus("cr", 4)
+	cc := b.PIBus("cc", 8)
+
+	// Row and column parities of the received data.
+	rowSyn := make([]netlist.Signal, 4)
+	for r := 0; r < 4; r++ {
+		rowSyn[r] = b.Xor(b.XorTree(d[r*8:(r+1)*8]), cr[r])
+	}
+	colSyn := make([]netlist.Signal, 8)
+	for c := 0; c < 8; c++ {
+		col := []netlist.Signal{d[c], d[8+c], d[16+c], d[24+c]}
+		colSyn[c] = b.Xor(b.XorTree(col), cc[c])
+	}
+
+	// Correction: bit (r,c) flips iff both its row and column syndromes
+	// fire.
+	out := make([]netlist.Signal, 32)
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 8; c++ {
+			i := r*8 + c
+			flip := b.And(rowSyn[r], colSyn[c])
+			out[i] = b.Xor(d[i], flip)
+		}
+	}
+	b.OutputBus("o", out)
+	b.Output("err", b.Or(b.Or(rowSyn...), b.Or(colSyn...)))
+
+	b.SizeDrives()
+	return b.MustBuild()
+}

@@ -1,0 +1,420 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/netlist"
+)
+
+func lib() *cell.Library { return cell.Default() }
+
+func sim(t *testing.T, d *netlist.Design) *netlist.Simulator {
+	t.Helper()
+	s, err := netlist.NewSimulator(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestGateCountsTrackPaper(t *testing.T) {
+	for _, bm := range All() {
+		d := bm.Build(lib())
+		got := d.NumGates()
+		dev := float64(got-bm.PaperGates) / float64(bm.PaperGates)
+		t.Logf("%-12s gates=%5d paper=%5d (%+.1f%%)", bm.Name, got, bm.PaperGates, dev*100)
+		if dev < -0.15 || dev > 0.15 {
+			t.Errorf("%s: %d gates deviates >15%% from paper's %d", bm.Name, got, bm.PaperGates)
+		}
+	}
+}
+
+func TestECC32Corrects(t *testing.T) {
+	d := ECC32(lib())
+	s := sim(t, d)
+	rng := rand.New(rand.NewSource(1))
+
+	// Helper computing the check bits of 32 data bits.
+	checks := func(data uint32) (row [4]bool, col [8]bool) {
+		for r := 0; r < 4; r++ {
+			p := false
+			for c := 0; c < 8; c++ {
+				p = p != (data&(1<<(r*8+c)) != 0)
+			}
+			row[r] = p
+		}
+		for c := 0; c < 8; c++ {
+			p := false
+			for r := 0; r < 4; r++ {
+				p = p != (data&(1<<(r*8+c)) != 0)
+			}
+			col[c] = p
+		}
+		return
+	}
+	apply := func(data uint32, row [4]bool, col [8]bool) {
+		if err := s.SetUintInputs("d", 32, uint64(data)); err != nil {
+			t.Fatal(err)
+		}
+		for r := 0; r < 4; r++ {
+			s.SetPIByName("cr"+string(rune('0'+r)), row[r])
+		}
+		for c := 0; c < 8; c++ {
+			s.SetPIByName("cc"+string(rune('0'+c)), col[c])
+		}
+		s.Eval()
+	}
+
+	for trial := 0; trial < 32; trial++ {
+		data := rng.Uint32()
+		row, col := checks(data)
+
+		// Error-free word passes through with err=0.
+		apply(data, row, col)
+		out, err := s.UintOutputs("o", 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if uint32(out) != data {
+			t.Fatalf("clean word corrupted: in %08x out %08x", data, out)
+		}
+		if e, _ := s.PO("err"); e {
+			t.Fatal("err flag raised on clean word")
+		}
+
+		// Any single-bit data error is corrected and flagged.
+		bit := rng.Intn(32)
+		apply(data^(1<<bit), row, col)
+		out, _ = s.UintOutputs("o", 32)
+		if uint32(out) != data {
+			t.Fatalf("bit %d not corrected: want %08x got %08x", bit, data, out)
+		}
+		if e, _ := s.PO("err"); !e {
+			t.Fatal("err flag not raised on corrupted word")
+		}
+	}
+}
+
+// aluModel mirrors the generated ALU semantics.
+func aluModel(w int, a, b uint64, op int, cin bool, stages int) (r uint64, cout bool) {
+	mask := uint64(1)<<w - 1
+	ci := uint64(0)
+	if cin {
+		ci = 1
+	}
+	switch op {
+	case aluADD:
+		full := a + b + ci
+		return full & mask, full > mask
+	case aluSUB:
+		full := a + (^b & mask) + 1
+		return full & mask, full > mask
+	case aluAND:
+		return a & b & mask, false
+	case aluOR:
+		return (a | b) & mask, false
+	case aluXOR:
+		return (a ^ b) & mask, false
+	case aluSHL:
+		sh := uint(1)
+		if stages > 0 {
+			sh = uint(b & (1<<stages - 1))
+		}
+		return (a << sh) & mask, false
+	case aluINC:
+		full := a + 1
+		return full & mask, full > mask
+	case aluDEC:
+		full := a + mask // a + (2^w - 1) = a - 1 mod 2^w
+		return full & mask, full > mask
+	}
+	panic("bad op")
+}
+
+func parity64(v uint64) bool {
+	p := false
+	for ; v != 0; v &= v - 1 {
+		p = !p
+	}
+	return p
+}
+
+func TestALU3540Behaviour(t *testing.T) {
+	const w = 12
+	d := ALU3540(lib())
+	s := sim(t, d)
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		a := rng.Uint64() & (1<<w - 1)
+		b := rng.Uint64() & (1<<w - 1)
+		op := rng.Intn(8)
+		cin := rng.Intn(2) == 1
+		s.SetUintInputs("a", w, a)
+		s.SetUintInputs("b", w, b)
+		s.SetUintInputs("op", 3, uint64(op))
+		s.SetPIByName("cin", cin)
+		s.Eval()
+
+		wantR, wantCout := aluModel(w, a, b, op, cin, 2)
+		gotR, _ := s.UintOutputs("r", w)
+		if gotR != wantR {
+			t.Fatalf("op=%d a=%03x b=%03x cin=%v: r=%03x want %03x", op, a, b, cin, gotR, wantR)
+		}
+		if z, _ := s.PO("zero"); z != (wantR == 0) {
+			t.Fatalf("op=%d: zero=%v for r=%03x", op, z, wantR)
+		}
+		if co, _ := s.PO("cout"); co != wantCout {
+			t.Fatalf("op=%d a=%03x b=%03x cin=%v: cout=%v want %v", op, a, b, cin, co, wantCout)
+		}
+		if p, _ := s.PO("parity"); p != parity64(wantR) {
+			t.Fatalf("op=%d: parity mismatch", op)
+		}
+		if op == aluSUB {
+			if ltu, _ := s.PO("ltu"); ltu != (a < b) {
+				t.Fatalf("a=%03x b=%03x: ltu=%v", a, b, ltu)
+			}
+		}
+		// BCD adjust of the adder-1 sum (a+b+cin or a-b per op).
+		sum1, _ := aluModel(w, a, b, map[bool]int{true: aluSUB, false: aluADD}[op == aluSUB], cin, 2)
+		if op != aluSUB {
+			sum1, _ = aluModel(w, a, b, aluADD, cin, 2)
+		}
+		bcd, _ := s.UintOutputs("bcd", w)
+		for n := 0; n < w/4; n++ {
+			nib := (sum1 >> (4 * n)) & 0xF
+			want := nib
+			if nib > 9 {
+				want = (nib + 6) & 0xF
+			}
+			if got := (bcd >> (4 * n)) & 0xF; got != want {
+				t.Fatalf("bcd nibble %d of %03x: got %x want %x", n, sum1, got, want)
+			}
+		}
+	}
+}
+
+func TestDualALU5315Behaviour(t *testing.T) {
+	const w = 9
+	d := DualALU5315(lib())
+	s := sim(t, d)
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 150; trial++ {
+		ua := rng.Uint64() & (1<<w - 1)
+		ub := rng.Uint64() & (1<<w - 1)
+		va := rng.Uint64() & (1<<w - 1)
+		vb := rng.Uint64() & (1<<w - 1)
+		uop, vop := rng.Intn(8), rng.Intn(8)
+		sel := rng.Intn(2) == 1
+		s.SetUintInputs("ua", w, ua)
+		s.SetUintInputs("ub", w, ub)
+		s.SetUintInputs("va", w, va)
+		s.SetUintInputs("vb", w, vb)
+		s.SetUintInputs("uop", 3, uint64(uop))
+		s.SetUintInputs("vop", 3, uint64(vop))
+		s.SetPIByName("ucin", false)
+		s.SetPIByName("vcin", false)
+		s.SetPIByName("sel", sel)
+		s.Eval()
+
+		wantU, _ := aluModel(w, ua, ub, uop, false, 3)
+		wantV, _ := aluModel(w, va, vb, vop, false, 3)
+		gotU, _ := s.UintOutputs("ur", w)
+		gotV, _ := s.UintOutputs("vr", w)
+		if gotU != wantU || gotV != wantV {
+			t.Fatalf("slice results: u=%03x/%03x v=%03x/%03x", gotU, wantU, gotV, wantV)
+		}
+		want := wantU
+		if sel {
+			want = wantV
+		}
+		if got, _ := s.UintOutputs("r", w); got != want {
+			t.Fatalf("merged result %03x, want %03x (sel=%v)", got, want, sel)
+		}
+		if p, _ := s.PO("mparity"); p != parity64(want) {
+			t.Fatal("merged parity mismatch")
+		}
+		if p, _ := s.PO("apar"); p != parity64(ua) != parity64(va) == false {
+			// apar = parity(ua bits + va bits)
+			if p != (parity64(ua) != parity64(va)) {
+				t.Fatal("operand parity mismatch")
+			}
+		}
+	}
+}
+
+func TestAddCmp7552Behaviour(t *testing.T) {
+	const w = 32
+	d := AddCmp7552(lib())
+	s := sim(t, d)
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 150; trial++ {
+		a := rng.Uint64() & (1<<w - 1)
+		b := rng.Uint64() & (1<<w - 1)
+		if trial%10 == 0 {
+			b = a // exercise the equality path
+		}
+		cin := rng.Intn(2) == 1
+		s.SetUintInputs("a", w, a)
+		s.SetUintInputs("b", w, b)
+		s.SetPIByName("cin", cin)
+		s.Eval()
+
+		ci := uint64(0)
+		if cin {
+			ci = 1
+		}
+		full := a + b + ci
+		gotS, _ := s.UintOutputs("s", w)
+		if gotS != full&(1<<w-1) {
+			t.Fatalf("sum wrong: %x want %x", gotS, full&(1<<w-1))
+		}
+		if co, _ := s.PO("cout"); co != (full > 1<<w-1) {
+			t.Fatal("cout wrong")
+		}
+		gotInc, _ := s.UintOutputs("inc", w)
+		if gotInc != (a+1)&(1<<w-1) {
+			t.Fatal("increment wrong")
+		}
+		eq, _ := s.PO("eq")
+		ltu, _ := s.PO("ltu")
+		gtu, _ := s.PO("gtu")
+		if eq != (a == b) || ltu != (a < b) || gtu != (a > b) {
+			t.Fatalf("compare flags: eq=%v ltu=%v gtu=%v for a=%x b=%x", eq, ltu, gtu, a, b)
+		}
+		if p, _ := s.PO("apar"); p != parity64(a) {
+			t.Fatal("apar wrong")
+		}
+		if p, _ := s.PO("spar"); p != parity64(gotS) {
+			t.Fatal("spar wrong")
+		}
+	}
+}
+
+func TestAdder128Behaviour(t *testing.T) {
+	const w = 128
+	d := Adder128(lib())
+	s := sim(t, d)
+	if d.NumDFFs() != w+w+1+w+1 {
+		t.Errorf("DFF count = %d, want %d", d.NumDFFs(), 3*w+2)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 40; trial++ {
+		aLo, aHi := rng.Uint64(), rng.Uint64()
+		bLo, bHi := rng.Uint64(), rng.Uint64()
+		if trial%8 == 0 { // exercise long carry chains
+			aLo, aHi = ^uint64(0), ^uint64(0)
+		}
+		cin := rng.Intn(2) == 1
+		s.SetUintInputs("a", 64, aLo)
+		s.SetUintInputs("b", 64, bLo)
+		for i := 0; i < 64; i++ {
+			s.SetPIByName("a"+itoa(64+i), aHi&(1<<i) != 0)
+			s.SetPIByName("b"+itoa(64+i), bHi&(1<<i) != 0)
+		}
+		s.SetPIByName("cin", cin)
+		s.Step() // latch operands
+		s.Step() // latch result
+		s.Eval()
+
+		ci := uint64(0)
+		if cin {
+			ci = 1
+		}
+		wantLo := aLo + bLo + ci
+		carryMid := uint64(0)
+		if wantLo < aLo || (wantLo == aLo && bLo+ci != 0) {
+			carryMid = 1
+		}
+		wantHi := aHi + bHi + carryMid
+		carryOut := wantHi < aHi || (wantHi == aHi && bHi+carryMid != 0)
+
+		gotLo, _ := s.UintOutputs("s", 64)
+		var gotHi uint64
+		for i := 0; i < 64; i++ {
+			bit, err := s.PO("s" + itoa(64+i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if bit {
+				gotHi |= 1 << i
+			}
+		}
+		if gotLo != wantLo || gotHi != wantHi {
+			t.Fatalf("sum wrong: got %016x%016x want %016x%016x", gotHi, gotLo, wantHi, wantLo)
+		}
+		if co, _ := s.PO("cout"); co != carryOut {
+			t.Fatalf("cout = %v, want %v", co, carryOut)
+		}
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [4]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+func TestMult16Behaviour(t *testing.T) {
+	d := Mult16(lib())
+	s := sim(t, d)
+	rng := rand.New(rand.NewSource(6))
+	cases := [][2]uint64{{0, 0}, {1, 1}, {65535, 65535}, {65535, 1}, {32768, 2}}
+	for trial := 0; trial < 60; trial++ {
+		var a, b uint64
+		if trial < len(cases) {
+			a, b = cases[trial][0], cases[trial][1]
+		} else {
+			a, b = rng.Uint64()&0xFFFF, rng.Uint64()&0xFFFF
+		}
+		s.SetUintInputs("a", 16, a)
+		s.SetUintInputs("b", 16, b)
+		s.Eval()
+		got, err := s.UintOutputs("p", 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != a*b {
+			t.Fatalf("%d * %d = %d, want %d", a, b, got, a*b)
+		}
+	}
+}
+
+func TestIndustrialDeterministicAndSized(t *testing.T) {
+	d1 := Industrial(lib(), "ind", 4219, 1)
+	d2 := Industrial(lib(), "ind", 4219, 1)
+	if d1.NumGates() != d2.NumGates() {
+		t.Fatalf("not deterministic: %d vs %d gates", d1.NumGates(), d2.NumGates())
+	}
+	if d1.NumGates() != 4219 {
+		t.Errorf("gate count = %d, want exactly 4219", d1.NumGates())
+	}
+	if d1.NumDFFs() == 0 {
+		t.Error("industrial module should contain registers")
+	}
+	d3 := Industrial(lib(), "ind", 4219, 9)
+	if d3.NumGates() != 4219 {
+		t.Errorf("seed 9: gate count = %d, want 4219", d3.NumGates())
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, err := ByName("c6288"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	if _, err := Build("c1355", lib()); err != nil {
+		t.Error(err)
+	}
+}

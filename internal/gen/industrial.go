@@ -1,0 +1,155 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cell"
+	"repro/internal/netlist"
+)
+
+// Industrial generates a synthetic SoC module standing in for the paper's
+// industrial benchmarks: a deterministic random composition of datapath
+// blocks (adders, comparators, mux buses, parity trees), decoders, random
+// control clouds and register slices, grown until the mapped gate count
+// reaches the target. The same (name, target, seed) always yields the same
+// netlist.
+func Industrial(lib *cell.Library, name string, targetGates int, seed int64) *netlist.Design {
+	rng := rand.New(rand.NewSource(seed))
+	b := netlist.NewBuilder(name, lib)
+
+	// Signal pool: generators draw operands from recent signals, which
+	// gives the netlist locality (cones of related logic), like real RTL.
+	pool := make([]netlist.Signal, 0, 1024)
+	for _, s := range b.PIBus("in", 64) {
+		pool = append(pool, s)
+	}
+	pick := func() netlist.Signal {
+		// Bias towards recent signals for locality.
+		n := len(pool)
+		window := n / 4
+		if window < 32 {
+			window = 32
+		}
+		if window > n {
+			window = n
+		}
+		return pool[n-1-rng.Intn(window)]
+	}
+	pickBus := func(w int) []netlist.Signal {
+		out := make([]netlist.Signal, w)
+		for i := range out {
+			out[i] = pick()
+		}
+		return out
+	}
+	push := func(sigs ...netlist.Signal) {
+		for _, s := range sigs {
+			if s.Kind == netlist.SigGate {
+				pool = append(pool, s)
+			}
+		}
+		if len(pool) > 2048 {
+			pool = pool[len(pool)-1024:]
+		}
+	}
+
+	blocks := []func(){
+		func() { // adder
+			w := 8 + rng.Intn(17)
+			sum, cout := b.RippleAdder(pickBus(w), pickBus(w), pick())
+			push(sum...)
+			push(cout)
+		},
+		func() { // parity tree
+			w := 16 + rng.Intn(33)
+			push(b.XorTree(pickBus(w)))
+		},
+		func() { // decoder
+			bits := 3 + rng.Intn(2)
+			in := pickBus(bits)
+			inv := make([]netlist.Signal, bits)
+			for i := range inv {
+				inv[i] = b.Not(in[i])
+			}
+			for k := 0; k < 1<<bits; k++ {
+				term := make([]netlist.Signal, bits)
+				for i := 0; i < bits; i++ {
+					if k&(1<<i) != 0 {
+						term[i] = in[i]
+					} else {
+						term[i] = inv[i]
+					}
+				}
+				push(b.And(term...))
+			}
+		},
+		func() { // mux bus
+			w := 8 + rng.Intn(9)
+			sel := pick()
+			push(b.MuxBus(sel, pickBus(w), pickBus(w))...)
+		},
+		func() { // random control cloud
+			width := 10 + rng.Intn(21)
+			depth := 3 + rng.Intn(4)
+			layer := pickBus(width)
+			for d := 0; d < depth; d++ {
+				next := make([]netlist.Signal, width)
+				for i := range next {
+					x, y := layer[rng.Intn(width)], layer[rng.Intn(width)]
+					switch rng.Intn(4) {
+					case 0:
+						next[i] = b.Nand(x, y)
+					case 1:
+						next[i] = b.Nor(x, y)
+					case 2:
+						next[i] = b.Nand(x, y, layer[rng.Intn(width)])
+					default:
+						next[i] = b.Not(x)
+					}
+				}
+				layer = next
+			}
+			push(layer...)
+		},
+		func() { // register slice
+			w := 8 + rng.Intn(17)
+			push(b.DFFBus(pickBus(w))...)
+		},
+		func() { // comparator
+			w := 8 + rng.Intn(9)
+			x, y := pickBus(w), pickBus(w)
+			ny := make([]netlist.Signal, w)
+			for i := range ny {
+				ny[i] = b.Not(y[i])
+			}
+			diff, cout := b.RippleAdder(x, ny, netlist.Const(true))
+			push(b.Nor(diff...), b.Not(cout))
+		},
+	}
+
+	// Grow with full-size blocks, then trim to the target with small
+	// parity clouds and buffer chains.
+	for b.NumGates() < targetGates-500 {
+		blocks[rng.Intn(len(blocks))]()
+	}
+	for b.NumGates() < targetGates-40 {
+		push(b.XorTree(pickBus(8)))
+	}
+	for b.NumGates() < targetGates {
+		push(b.Buf(pick()))
+	}
+
+	// Expose a sample of the pool as primary outputs.
+	nPOs := 64
+	if len(pool) < nPOs {
+		nPOs = len(pool)
+	}
+	perm := rng.Perm(len(pool))
+	for i := 0; i < nPOs; i++ {
+		b.Output(fmt.Sprintf("out%d", i), pool[perm[i]])
+	}
+
+	b.SizeDrives()
+	return b.MustBuild()
+}

@@ -1,0 +1,49 @@
+package gen
+
+import (
+	"repro/internal/cell"
+	"repro/internal/netlist"
+)
+
+// Mult16 generates the c6288-class circuit: a 16x16 array multiplier. The
+// partial-product array is accumulated row by row with ripple-carry adders,
+// exactly the structure that gives c6288 its hallmark timing profile: a
+// large number of nearly-balanced critical paths through the adder array,
+// which in turn produces the largest constraint counts of Table 1.
+//
+// Inputs:  a0..a15, b0..b15
+// Outputs: p0..p31 (the 32-bit product)
+func Mult16(lib *cell.Library) *netlist.Design {
+	const w = 16
+	b := netlist.NewBuilder("c6288", lib)
+	a := b.PIBus("a", w)
+	x := b.PIBus("b", w)
+
+	// Partial products pp[i][j] = a[j] AND b[i], weight i+j.
+	pp := make([][]netlist.Signal, w)
+	for i := 0; i < w; i++ {
+		pp[i] = make([]netlist.Signal, w)
+		for j := 0; j < w; j++ {
+			pp[i][j] = b.And(a[j], x[i])
+		}
+	}
+
+	// Row-by-row accumulation. Invariant: entering round i, acc holds the
+	// w+1 bits of weights i-1 .. i+w-1 of the running sum; its lowest bit
+	// is final (no later row reaches that weight).
+	product := make([]netlist.Signal, 0, 2*w)
+	acc := make([]netlist.Signal, w+1)
+	copy(acc, pp[0])
+	acc[w] = netlist.Const(false)
+	for i := 1; i < w; i++ {
+		product = append(product, acc[0])
+		rest := acc[1 : w+1] // w bits, weights i .. i+w-1
+		sum, cout := b.RippleAdder(rest, pp[i], netlist.Const(false))
+		acc = append(append(make([]netlist.Signal, 0, w+1), sum...), cout)
+	}
+	product = append(product, acc...) // weights w-1 .. 2w-1
+	b.OutputBus("p", product)
+
+	b.SizeDrives()
+	return b.MustBuild()
+}

@@ -1,0 +1,117 @@
+package layout
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/place"
+)
+
+// RenderASCII draws the clustered layout in the style of the paper's
+// Figure 3: one line per row showing its cluster, bias voltage, utilization
+// and contact cells, with well-separation markers between rows of different
+// clusters. Bias rails run vertically through the die centre as in Figure 6.
+func RenderASCII(pl *place.Placement, assign []int, rep *Report) string {
+	var sb strings.Builder
+	grid := pl.Lib.Grid
+	fmt.Fprintf(&sb, "%s: %d rows, die %.0fx%.0fum, %d bias pair(s) on top metal\n",
+		pl.Design.Name, pl.NumRows, pl.DieWidthUM, pl.DieHeightUM, len(rep.VbsLevels))
+
+	symbols := map[int]byte{0: '.'}
+	for i, j := range rep.VbsLevels {
+		symbols[j] = byte('A' + i)
+	}
+	const width = 48
+	railCol := width / 2
+	for row := pl.NumRows - 1; row >= 0; row-- {
+		if row+1 < pl.NumRows && assign[row] != assign[row+1] {
+			sep := strings.Repeat("~", width)
+			fmt.Fprintf(&sb, "      %s  well separation\n", sep)
+		}
+		sym := symbols[assign[row]]
+		used := int(rep.UtilAfter[row] * float64(width))
+		if used > width {
+			used = width
+		}
+		line := []byte(strings.Repeat(string(sym), used) + strings.Repeat(" ", width-used))
+		// Bias rails through the centre (Figure 6).
+		for t := 0; t < rep.BiasRailTracks; t++ {
+			col := railCol - rep.BiasRailTracks + 2*t + 1
+			if col >= 0 && col < width {
+				line[col] = '|'
+			}
+		}
+		fmt.Fprintf(&sb, "r%02d %c [%s] vbs=%.2fV util=%2.0f%% contacts=%d\n",
+			row, sym, line, grid.Voltage(assign[row]), rep.UtilAfter[row]*100,
+			rep.ContactCellsPerRow[row])
+	}
+	fmt.Fprintf(&sb, "legend: . = no body bias")
+	for i, j := range rep.VbsLevels {
+		fmt.Fprintf(&sb, ", %c = vbs%d (%.2fV)", byte('A'+i), i+1, grid.Voltage(j))
+	}
+	fmt.Fprintf(&sb, "\nwell-separation boundaries: %d, area overhead: %.2f%%\n",
+		rep.WellSepBoundaries, rep.AreaOverheadPct)
+	return sb.String()
+}
+
+// clusterColors are the SVG fill colours per cluster index (NBB first).
+var clusterColors = []string{"#d7dbdd", "#f5b041", "#e74c3c", "#8e44ad"}
+
+// RenderSVG draws the placed-and-routed view of the paper's Figure 6: rows
+// coloured by cluster, contact cells as dark ticks, and the bias-pair rails
+// routed vertically through the centre of the die on the top metal layer.
+func RenderSVG(pl *place.Placement, assign []int, rep *Report) string {
+	const scale = 4.0
+	w := pl.DieWidthUM * scale
+	h := pl.DieHeightUM * scale
+	rowH := pl.Lib.RowHeightUM * scale
+
+	colorOf := map[int]string{0: clusterColors[0]}
+	for i, j := range rep.VbsLevels {
+		colorOf[j] = clusterColors[1+i%3]
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n", w+120, h+40, w+120, h+40)
+	fmt.Fprintf(&sb, `<rect x="0" y="0" width="%.0f" height="%.0f" fill="#1b2631"/>`+"\n", w+120, h+40)
+
+	// Rows, bottom row at the bottom of the image.
+	for row := 0; row < pl.NumRows; row++ {
+		y := h - float64(row+1)*rowH + 20
+		fmt.Fprintf(&sb, `<rect x="20" y="%.1f" width="%.1f" height="%.1f" fill="%s" stroke="#17202a" stroke-width="0.5"/>`+"\n",
+			y, w, rowH*0.92, colorOf[assign[row]])
+		// Cells as subtle ticks at their x positions.
+		for _, g := range pl.Rows[row] {
+			gw := pl.Design.Gates[g].Cell.WidthUM(pl.Lib) * scale
+			fmt.Fprintf(&sb, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="black" fill-opacity="0.12"/>`+"\n",
+				20+pl.X[g]*scale, y+rowH*0.1, gw, rowH*0.72)
+		}
+		// Contact cells, evenly spread.
+		n := rep.ContactCellsPerRow[row]
+		for k := 0; k < n; k++ {
+			x := 20 + (float64(k)+0.5)*w/float64(n)
+			fmt.Fprintf(&sb, `<rect x="%.1f" y="%.1f" width="3" height="%.1f" fill="#145a32"/>`+"\n",
+				x, y, rowH*0.92)
+		}
+	}
+
+	// Bias rails through the centre (two tracks per pair).
+	for t := 0; t < rep.BiasRailTracks; t++ {
+		x := 20 + w/2 + float64(2*t-rep.BiasRailTracks)*6
+		fmt.Fprintf(&sb, `<rect x="%.1f" y="10" width="3.5" height="%.1f" fill="#3498db" fill-opacity="0.85"/>`+"\n",
+			x, h+20)
+	}
+
+	// Legend.
+	grid := pl.Lib.Grid
+	ly := 24.0
+	fmt.Fprintf(&sb, `<text x="%.0f" y="%.0f" fill="white" font-size="11" font-family="monospace">NBB</text>`+"\n", w+46, ly)
+	fmt.Fprintf(&sb, `<rect x="%.0f" y="%.0f" width="14" height="10" fill="%s"/>`+"\n", w+26, ly-9, clusterColors[0])
+	for _, j := range rep.VbsLevels {
+		ly += 18
+		fmt.Fprintf(&sb, `<rect x="%.0f" y="%.0f" width="14" height="10" fill="%s"/>`+"\n", w+26, ly-9, colorOf[j])
+		fmt.Fprintf(&sb, `<text x="%.0f" y="%.0f" fill="white" font-size="11" font-family="monospace">%.2fV</text>`+"\n", w+46, ly, grid.Voltage(j))
+	}
+	sb.WriteString("</svg>\n")
+	return sb.String()
+}

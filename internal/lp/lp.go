@@ -1,0 +1,545 @@
+// Package lp is a dense linear-programming solver: a two-phase primal
+// simplex with bounded variables and Bland anti-cycling. It plays the role
+// of lp_solve in the paper's flow, as the relaxation engine under the
+// branch-and-bound ILP solver.
+//
+// Problems are stated as
+//
+//	minimize    C.x
+//	subject to  A x (<=|>=|=) B,   L <= x <= U
+//
+// Variable bounds are handled implicitly by the simplex (nonbasic variables
+// may sit at either bound), which keeps the tableau at the constraint count
+// rather than adding a row per bound — essential for the FBB instances whose
+// x_ij variables are all bounded binaries in the relaxation.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Rel is a constraint relation.
+type Rel uint8
+
+// Constraint relations.
+const (
+	LE Rel = iota // <=
+	GE            // >=
+	EQ            // =
+)
+
+// Status reports the outcome of a solve.
+type Status uint8
+
+// Solve outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+	IterLimit
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case IterLimit:
+		return "iteration-limit"
+	}
+	return "unknown"
+}
+
+// Problem is an LP instance. L and U may be nil (defaults: 0 and +Inf).
+type Problem struct {
+	C   []float64
+	A   [][]float64
+	Rel []Rel
+	B   []float64
+	L   []float64
+	U   []float64
+}
+
+// Result is a solved LP.
+type Result struct {
+	Status Status
+	// X is the optimal point (valid when Status == Optimal).
+	X []float64
+	// Obj is C.X.
+	Obj float64
+	// Iters counts simplex pivots across both phases.
+	Iters int
+}
+
+const (
+	tolPivot = 1e-9
+	tolCost  = 1e-9
+	tolFeas  = 1e-7
+)
+
+// Validate checks dimensional consistency.
+func (p *Problem) Validate() error {
+	n := len(p.C)
+	if len(p.A) != len(p.B) || len(p.A) != len(p.Rel) {
+		return fmt.Errorf("lp: %d rows, %d rhs, %d relations", len(p.A), len(p.B), len(p.Rel))
+	}
+	for i, row := range p.A {
+		if len(row) != n {
+			return fmt.Errorf("lp: row %d has %d coefficients, want %d", i, len(row), n)
+		}
+	}
+	if p.L != nil && len(p.L) != n {
+		return fmt.Errorf("lp: L length %d, want %d", len(p.L), n)
+	}
+	if p.U != nil && len(p.U) != n {
+		return fmt.Errorf("lp: U length %d, want %d", len(p.U), n)
+	}
+	for j := 0; j < n; j++ {
+		if p.lower(j) > p.upper(j)+tolFeas {
+			return fmt.Errorf("lp: variable %d has empty bound interval [%g, %g]", j, p.lower(j), p.upper(j))
+		}
+	}
+	return nil
+}
+
+func (p *Problem) lower(j int) float64 {
+	if p.L == nil {
+		return 0
+	}
+	return p.L[j]
+}
+
+func (p *Problem) upper(j int) float64 {
+	if p.U == nil {
+		return math.Inf(1)
+	}
+	return p.U[j]
+}
+
+type varStatus uint8
+
+const (
+	atLower varStatus = iota
+	atUpper
+	isBasic
+)
+
+// simplex holds the working state. All variables are shifted so their lower
+// bound is zero; column order is [structural | slacks | artificials].
+type simplex struct {
+	m, n    int // rows, structural count
+	nCols   int
+	T       [][]float64 // m x nCols tableau (B^-1 A)
+	xB      []float64   // basic variable values
+	basis   []int       // basic column per row
+	stat    []varStatus
+	ub      []float64 // shifted upper bounds per column
+	d       []float64 // reduced costs
+	cost    []float64 // phase cost vector
+	objVal  float64
+	artBase int
+	iters   int
+	bland   bool
+	stall   int
+}
+
+// Solve optimizes the problem.
+func Solve(p *Problem) (Result, error) {
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	n := len(p.C)
+	m := len(p.A)
+
+	// Trivial case: no constraints — each variable goes to its cheap bound.
+	if m == 0 {
+		x := make([]float64, n)
+		obj := 0.0
+		for j := 0; j < n; j++ {
+			switch {
+			case p.C[j] > 0:
+				x[j] = p.lower(j)
+			case p.C[j] < 0:
+				if math.IsInf(p.upper(j), 1) {
+					return Result{Status: Unbounded}, nil
+				}
+				x[j] = p.upper(j)
+			default:
+				x[j] = p.lower(j)
+			}
+			obj += p.C[j] * x[j]
+		}
+		return Result{Status: Optimal, X: x, Obj: obj}, nil
+	}
+
+	s, err := newSimplex(p)
+	if err != nil {
+		return Result{}, err
+	}
+
+	// Phase 1: minimize the artificial sum.
+	if s.artBase < s.nCols {
+		s.setPhase1Cost()
+		st := s.run(maxIters(m, s.nCols))
+		if st == IterLimit {
+			return Result{Status: IterLimit, Iters: s.iters}, nil
+		}
+		if s.objVal > tolFeas {
+			return Result{Status: Infeasible, Iters: s.iters}, nil
+		}
+		// Freeze artificials at zero so phase 2 cannot reuse them.
+		for j := s.artBase; j < s.nCols; j++ {
+			s.ub[j] = 0
+		}
+	}
+
+	// Phase 2: the real objective.
+	s.setPhase2Cost(p)
+	st := s.run(maxIters(m, s.nCols))
+	if st != Optimal {
+		return Result{Status: st, Iters: s.iters}, nil
+	}
+
+	// Recover the solution in original coordinates.
+	x := make([]float64, n)
+	for j := 0; j < n; j++ {
+		x[j] = p.lower(j) + s.value(j)
+	}
+	obj := 0.0
+	for j := 0; j < n; j++ {
+		obj += p.C[j] * x[j]
+	}
+	return Result{Status: Optimal, X: x, Obj: obj, Iters: s.iters}, nil
+}
+
+func maxIters(m, n int) int { return 200*(m+n) + 20000 }
+
+// newSimplex builds the initial tableau: slack basis where possible,
+// artificial variables for >= and = rows.
+func newSimplex(p *Problem) (*simplex, error) {
+	n := len(p.C)
+	m := len(p.A)
+
+	// Shift x by L and normalize rows to b >= 0.
+	type rowSpec struct {
+		a   []float64
+		b   float64
+		rel Rel
+	}
+	rows := make([]rowSpec, m)
+	for i := 0; i < m; i++ {
+		a := make([]float64, n)
+		copy(a, p.A[i])
+		b := p.B[i]
+		for j := 0; j < n; j++ {
+			l := p.lower(j)
+			if l != 0 {
+				b -= a[j] * l
+			}
+		}
+		rel := p.Rel[i]
+		if b < 0 {
+			for j := range a {
+				a[j] = -a[j]
+			}
+			b = -b
+			switch rel {
+			case LE:
+				rel = GE
+			case GE:
+				rel = LE
+			}
+		}
+		rows[i] = rowSpec{a: a, b: b, rel: rel}
+	}
+
+	nSlack := 0
+	nArt := 0
+	for _, r := range rows {
+		if r.rel != EQ {
+			nSlack++
+		}
+		if r.rel != LE {
+			nArt++
+		}
+	}
+	nCols := n + nSlack + nArt
+	s := &simplex{
+		m:       m,
+		n:       n,
+		nCols:   nCols,
+		T:       make([][]float64, m),
+		xB:      make([]float64, m),
+		basis:   make([]int, m),
+		stat:    make([]varStatus, nCols),
+		ub:      make([]float64, nCols),
+		d:       make([]float64, nCols),
+		cost:    make([]float64, nCols),
+		artBase: n + nSlack,
+	}
+	for j := 0; j < n; j++ {
+		s.ub[j] = p.upper(j) - p.lower(j)
+		if s.ub[j] < 0 {
+			return nil, errors.New("lp: inconsistent bounds")
+		}
+	}
+	for j := n; j < nCols; j++ {
+		s.ub[j] = math.Inf(1)
+	}
+
+	slack := n
+	art := s.artBase
+	for i, r := range rows {
+		t := make([]float64, nCols)
+		copy(t, r.a)
+		switch r.rel {
+		case LE:
+			t[slack] = 1
+			s.basis[i] = slack
+			slack++
+		case GE:
+			t[slack] = -1
+			slack++
+			t[art] = 1
+			s.basis[i] = art
+			art++
+		case EQ:
+			t[art] = 1
+			s.basis[i] = art
+			art++
+		}
+		s.T[i] = t
+		s.xB[i] = r.b
+	}
+	for i := range s.basis {
+		s.stat[s.basis[i]] = isBasic
+	}
+	return s, nil
+}
+
+// value returns the current value of column j in shifted coordinates.
+func (s *simplex) value(j int) float64 {
+	switch s.stat[j] {
+	case atLower:
+		return 0
+	case atUpper:
+		return s.ub[j]
+	}
+	for i, bj := range s.basis {
+		if bj == j {
+			return s.xB[i]
+		}
+	}
+	return 0
+}
+
+func (s *simplex) setPhase1Cost() {
+	for j := range s.cost {
+		s.cost[j] = 0
+	}
+	for j := s.artBase; j < s.nCols; j++ {
+		s.cost[j] = 1
+	}
+	s.computeReducedCosts()
+}
+
+func (s *simplex) setPhase2Cost(p *Problem) {
+	for j := range s.cost {
+		s.cost[j] = 0
+	}
+	copy(s.cost[:s.n], p.C)
+	s.computeReducedCosts()
+}
+
+// computeReducedCosts rebuilds d = c - c_B * T and the objective value from
+// scratch (done at each phase start).
+func (s *simplex) computeReducedCosts() {
+	for j := 0; j < s.nCols; j++ {
+		s.d[j] = s.cost[j]
+	}
+	for i := 0; i < s.m; i++ {
+		cb := s.cost[s.basis[i]]
+		if cb == 0 {
+			continue
+		}
+		row := s.T[i]
+		for j := 0; j < s.nCols; j++ {
+			s.d[j] -= cb * row[j]
+		}
+	}
+	obj := 0.0
+	for j := 0; j < s.nCols; j++ {
+		obj += s.cost[j] * s.value(j)
+	}
+	s.objVal = obj
+	s.bland = false
+	s.stall = 0
+}
+
+// run iterates the bounded-variable simplex until optimality or a limit.
+func (s *simplex) run(limit int) Status {
+	for iter := 0; iter < limit; iter++ {
+		q := s.price()
+		if q < 0 {
+			return Optimal
+		}
+		st := s.step(q)
+		if st != Optimal {
+			return st
+		}
+		s.iters++
+	}
+	return IterLimit
+}
+
+// price selects the entering column, or -1 at optimality. A nonbasic column
+// improves the objective when it is at its lower bound with a negative
+// reduced cost, or at its upper bound with a positive one.
+func (s *simplex) price() int {
+	best, bestScore := -1, tolCost
+	for j := 0; j < s.nCols; j++ {
+		if s.stat[j] == isBasic || s.ub[j] == 0 {
+			continue
+		}
+		var score float64
+		switch s.stat[j] {
+		case atLower:
+			score = -s.d[j]
+		case atUpper:
+			score = s.d[j]
+		}
+		if score <= tolCost {
+			continue
+		}
+		if s.bland {
+			return j
+		}
+		if score > bestScore {
+			bestScore = score
+			best = j
+		}
+	}
+	return best
+}
+
+// step moves the entering variable q as far as its own bound or a basic
+// variable's bound allows, then flips or pivots.
+func (s *simplex) step(q int) Status {
+	dir := 1.0
+	if s.stat[q] == atUpper {
+		dir = -1
+	}
+
+	// Ratio test: limit on the step length t >= 0.
+	tMax := s.ub[q] // bound-to-bound flip distance
+	leave := -1
+	leaveToUpper := false
+	for i := 0; i < s.m; i++ {
+		y := dir * s.T[i][q]
+		var lim float64
+		var toUpper bool
+		switch {
+		case y > tolPivot:
+			lim = s.xB[i] / y // basic falls to its lower bound (0)
+		case y < -tolPivot:
+			ubB := s.ub[s.basis[i]]
+			if math.IsInf(ubB, 1) {
+				continue
+			}
+			lim = (ubB - s.xB[i]) / (-y) // basic rises to its upper bound
+			toUpper = true
+		default:
+			continue
+		}
+		if lim < 0 {
+			lim = 0
+		}
+		if lim < tMax-tolPivot || (lim < tMax+tolPivot && leave >= 0 && s.bland && s.basis[i] < s.basis[leave]) {
+			tMax = lim
+			leave = i
+			leaveToUpper = toUpper
+		}
+	}
+
+	if math.IsInf(tMax, 1) {
+		return Unbounded
+	}
+
+	// Objective change.
+	delta := s.d[q] * dir * tMax
+	if delta > -1e-12 {
+		s.stall++
+		if s.stall > 2*(s.m+s.nCols) {
+			s.bland = true
+		}
+	} else {
+		s.stall = 0
+	}
+	s.objVal += delta
+
+	// Update basic values.
+	for i := 0; i < s.m; i++ {
+		s.xB[i] -= dir * s.T[i][q] * tMax
+	}
+
+	if leave < 0 {
+		// Bound flip: q jumps to its other bound, basis unchanged.
+		if s.stat[q] == atLower {
+			s.stat[q] = atUpper
+		} else {
+			s.stat[q] = atLower
+		}
+		return Optimal
+	}
+
+	// Pivot: q enters the basis at its new value, basis[leave] exits.
+	newVal := tMax
+	if s.stat[q] == atUpper {
+		newVal = s.ub[q] - tMax
+	}
+	out := s.basis[leave]
+	if leaveToUpper {
+		s.stat[out] = atUpper
+	} else {
+		s.stat[out] = atLower
+	}
+	s.stat[q] = isBasic
+	s.basis[leave] = q
+	s.xB[leave] = newVal
+
+	// Gaussian elimination on the tableau and the reduced-cost row.
+	piv := s.T[leave][q]
+	row := s.T[leave]
+	inv := 1 / piv
+	for j := 0; j < s.nCols; j++ {
+		row[j] *= inv
+	}
+	for i := 0; i < s.m; i++ {
+		if i == leave {
+			continue
+		}
+		f := s.T[i][q]
+		if f == 0 {
+			continue
+		}
+		ri := s.T[i]
+		for j := 0; j < s.nCols; j++ {
+			ri[j] -= f * row[j]
+		}
+		ri[q] = 0 // exact zero against round-off
+	}
+	f := s.d[q]
+	if f != 0 {
+		for j := 0; j < s.nCols; j++ {
+			s.d[j] -= f * row[j]
+		}
+		s.d[q] = 0
+	}
+	return Optimal
+}

@@ -1,0 +1,97 @@
+package netlist
+
+import (
+	"testing"
+
+	"repro/internal/cell"
+)
+
+func TestConstantFolding(t *testing.T) {
+	b := NewBuilder("fold", lib())
+	a := b.PI("a")
+
+	if s := b.And(a, Const(false)); s.Kind != SigConst0 {
+		t.Error("AND(a,0) should fold to 0")
+	}
+	if s := b.And(a, Const(true)); s != a {
+		t.Error("AND(a,1) should fold to a")
+	}
+	if s := b.Or(a, Const(true)); s.Kind != SigConst1 {
+		t.Error("OR(a,1) should fold to 1")
+	}
+	if s := b.Or(a, Const(false)); s != a {
+		t.Error("OR(a,0) should fold to a")
+	}
+	if s := b.Nand(a, Const(false)); s.Kind != SigConst1 {
+		t.Error("NAND(a,0) should fold to 1")
+	}
+	if s := b.Nor(a, Const(true)); s.Kind != SigConst0 {
+		t.Error("NOR(a,1) should fold to 0")
+	}
+	if s := b.Not(Const(false)); s.Kind != SigConst1 {
+		t.Error("NOT(0) should fold to 1")
+	}
+	if s := b.Buf(Const(true)); s.Kind != SigConst1 {
+		t.Error("BUF(1) should fold to 1")
+	}
+
+	// NAND(a,1) must degrade to a single inverter, not a NAND cell.
+	before := b.NumGates()
+	s := b.Nand(a, Const(true))
+	if s.Kind != SigGate || b.d.Gates[s.Idx].Cell.Kind != cell.Inv {
+		t.Error("NAND(a,1) should become INV(a)")
+	}
+	if b.NumGates() != before+1 {
+		t.Errorf("NAND(a,1) built %d gates, want 1", b.NumGates()-before)
+	}
+}
+
+func TestFoldingNeverDropsDFF(t *testing.T) {
+	b := NewBuilder("dffconst", lib())
+	q := b.DFF(Const(true))
+	if q.Kind != SigGate {
+		t.Fatal("DFF of a constant must stay a state element")
+	}
+	b.Output("q", q)
+	if _, err := b.Build(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHalfAdderCheaperViaFolding(t *testing.T) {
+	// A full adder with constant carry-in must cost fewer gates than a
+	// general one: the folding turns it into a half adder automatically.
+	b := NewBuilder("ha", lib())
+	a, x, c := b.PI("a"), b.PI("b"), b.PI("c")
+	start := b.NumGates()
+	b.FullAdder(a, x, c)
+	fullCost := b.NumGates() - start
+
+	start = b.NumGates()
+	sum, carry := b.FullAdder(a, x, Const(false))
+	haCost := b.NumGates() - start
+	if haCost >= fullCost {
+		t.Errorf("folded half adder costs %d gates, full adder %d", haCost, fullCost)
+	}
+
+	// And it must still be functionally a half adder.
+	b.Output("s", sum)
+	b.Output("co", carry)
+	d, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := NewSimulator(d)
+	for av := 0; av < 2; av++ {
+		for bv := 0; bv < 2; bv++ {
+			s.SetPIByName("a", av == 1)
+			s.SetPIByName("b", bv == 1)
+			s.Eval()
+			sv, _ := s.PO("s")
+			cv, _ := s.PO("co")
+			if sv != ((av^bv) == 1) || cv != (av == 1 && bv == 1) {
+				t.Errorf("half adder wrong at a=%d b=%d: s=%v c=%v", av, bv, sv, cv)
+			}
+		}
+	}
+}

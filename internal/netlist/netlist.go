@@ -1,0 +1,254 @@
+// Package netlist provides the gate-level netlist representation shared by
+// the whole flow: designs made of standard cells from the reduced library,
+// topological utilities, an event-free logic simulator used to verify the
+// benchmark generators, a structural Builder, and ISCAS .bench I/O.
+package netlist
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cell"
+)
+
+// GateID indexes a gate within a Design.
+type GateID = int32
+
+// SigKind discriminates the driver of a Signal.
+type SigKind uint8
+
+// Signal driver kinds.
+const (
+	// SigPI is a primary input, Idx indexes Design.PINames.
+	SigPI SigKind = iota
+	// SigGate is a gate output, Idx is the GateID.
+	SigGate
+	// SigConst0 is a constant logic 0 (tie-low).
+	SigConst0
+	// SigConst1 is a constant logic 1 (tie-high).
+	SigConst1
+)
+
+// Signal identifies the driver of a net.
+type Signal struct {
+	Kind SigKind
+	Idx  int32
+}
+
+// PISignal returns the signal of primary input i.
+func PISignal(i int) Signal { return Signal{Kind: SigPI, Idx: int32(i)} }
+
+// GateSignal returns the output signal of gate g.
+func GateSignal(g GateID) Signal { return Signal{Kind: SigGate, Idx: g} }
+
+// Const returns a constant signal.
+func Const(v bool) Signal {
+	if v {
+		return Signal{Kind: SigConst1}
+	}
+	return Signal{Kind: SigConst0}
+}
+
+// Port is a named primary output.
+type Port struct {
+	Name string
+	Sig  Signal
+}
+
+// Gate is one standard-cell instance.
+type Gate struct {
+	// Cell is the library element implementing the gate.
+	Cell *cell.Cell
+	// Ins are the input signals, length Cell.NumInputs. For DFF cells the
+	// single input is the D pin; the clock is implicit (single domain).
+	Ins []Signal
+	// Name is an optional instance name (used by .bench I/O).
+	Name string
+}
+
+// IsDFF reports whether the gate is a flip-flop.
+func (g *Gate) IsDFF() bool { return g.Cell.Kind == cell.Dff }
+
+// Design is a mapped gate-level netlist.
+type Design struct {
+	Name    string
+	PINames []string
+	Gates   []Gate
+	POs     []Port
+}
+
+// NumGates returns the number of gate instances.
+func (d *Design) NumGates() int { return len(d.Gates) }
+
+// NumDFFs returns the number of flip-flops.
+func (d *Design) NumDFFs() int {
+	n := 0
+	for i := range d.Gates {
+		if d.Gates[i].IsDFF() {
+			n++
+		}
+	}
+	return n
+}
+
+// Validate checks structural sanity: input counts match the cells, all signal
+// indices are in range, and the combinational logic is acyclic.
+func (d *Design) Validate() error {
+	for i := range d.Gates {
+		g := &d.Gates[i]
+		if g.Cell == nil {
+			return fmt.Errorf("netlist: gate %d has no cell", i)
+		}
+		if len(g.Ins) != g.Cell.NumInputs {
+			return fmt.Errorf("netlist: gate %d (%s) has %d inputs, cell wants %d",
+				i, g.Cell.Name, len(g.Ins), g.Cell.NumInputs)
+		}
+		for pin, s := range g.Ins {
+			if err := d.checkSignal(s); err != nil {
+				return fmt.Errorf("netlist: gate %d pin %d: %w", i, pin, err)
+			}
+		}
+	}
+	for _, po := range d.POs {
+		if err := d.checkSignal(po.Sig); err != nil {
+			return fmt.Errorf("netlist: output %q: %w", po.Name, err)
+		}
+	}
+	if _, err := d.TopoOrder(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (d *Design) checkSignal(s Signal) error {
+	switch s.Kind {
+	case SigPI:
+		if s.Idx < 0 || int(s.Idx) >= len(d.PINames) {
+			return fmt.Errorf("PI index %d out of range", s.Idx)
+		}
+	case SigGate:
+		if s.Idx < 0 || int(s.Idx) >= len(d.Gates) {
+			return fmt.Errorf("gate index %d out of range", s.Idx)
+		}
+	case SigConst0, SigConst1:
+	default:
+		return fmt.Errorf("invalid signal kind %d", s.Kind)
+	}
+	return nil
+}
+
+// TopoOrder returns the gates in a combinational evaluation order: flip-flops
+// first (their outputs are state, independent of D within a cycle), then
+// combinational gates so that every gate appears after its drivers. An error
+// is returned when the combinational logic contains a cycle.
+func (d *Design) TopoOrder() ([]GateID, error) {
+	n := len(d.Gates)
+	indeg := make([]int32, n)
+	for i := range d.Gates {
+		g := &d.Gates[i]
+		if g.IsDFF() {
+			continue // D pin is a sequential, not ordering, dependency
+		}
+		for _, s := range g.Ins {
+			if s.Kind == SigGate {
+				indeg[i]++
+			}
+		}
+	}
+	order := make([]GateID, 0, n)
+	queue := make([]GateID, 0, n)
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			queue = append(queue, GateID(i))
+		}
+	}
+	fanouts := d.Fanouts()
+	for len(queue) > 0 {
+		g := queue[0]
+		queue = queue[1:]
+		order = append(order, g)
+		for _, f := range fanouts[g] {
+			if d.Gates[f].IsDFF() {
+				continue
+			}
+			indeg[f]--
+			if indeg[f] == 0 {
+				queue = append(queue, f)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, errors.New("netlist: combinational cycle detected")
+	}
+	return order, nil
+}
+
+// Fanouts returns, for every gate, the list of gates consuming its output
+// (with multiplicity one per consumer gate pin).
+func (d *Design) Fanouts() [][]GateID {
+	out := make([][]GateID, len(d.Gates))
+	for i := range d.Gates {
+		for _, s := range d.Gates[i].Ins {
+			if s.Kind == SigGate {
+				out[s.Idx] = append(out[s.Idx], GateID(i))
+			}
+		}
+	}
+	return out
+}
+
+// FanoutCounts returns the consumer pin count of every gate output including
+// primary-output loads.
+func (d *Design) FanoutCounts() []int {
+	out := make([]int, len(d.Gates))
+	for i := range d.Gates {
+		for _, s := range d.Gates[i].Ins {
+			if s.Kind == SigGate {
+				out[s.Idx]++
+			}
+		}
+	}
+	for _, po := range d.POs {
+		if po.Sig.Kind == SigGate {
+			out[po.Sig.Idx]++
+		}
+	}
+	return out
+}
+
+// Stats summarizes a design.
+type Stats struct {
+	Name       string
+	Gates      int
+	DFFs       int
+	PIs        int
+	POs        int
+	WidthSites int
+	ByKind     map[cell.Kind]int
+}
+
+// Stats computes summary statistics.
+func (d *Design) Stats() Stats {
+	s := Stats{
+		Name:   d.Name,
+		Gates:  len(d.Gates),
+		PIs:    len(d.PINames),
+		POs:    len(d.POs),
+		ByKind: map[cell.Kind]int{},
+	}
+	for i := range d.Gates {
+		g := &d.Gates[i]
+		s.ByKind[g.Cell.Kind]++
+		s.WidthSites += g.Cell.WidthSites
+		if g.IsDFF() {
+			s.DFFs++
+		}
+	}
+	return s
+}
+
+// String implements fmt.Stringer.
+func (s Stats) String() string {
+	return fmt.Sprintf("%s: %d gates (%d FF), %d PI, %d PO, %d sites",
+		s.Name, s.Gates, s.DFFs, s.PIs, s.POs, s.WidthSites)
+}

@@ -1,0 +1,109 @@
+package netlist
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/cell"
+)
+
+// TestBenchRoundTripProperty writes random circuits to .bench and reparses
+// them, checking functional equivalence on random input vectors — the
+// strongest check the interchange path gets.
+func TestBenchRoundTripProperty(t *testing.T) {
+	l := cell.Default()
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 20; trial++ {
+		b := NewBuilder("rt", l)
+		nPI := 2 + rng.Intn(4)
+		pool := make([]Signal, 0, 64)
+		for i := 0; i < nPI; i++ {
+			pool = append(pool, b.PI("i"+itoa(i)))
+		}
+		nG := 10 + rng.Intn(30)
+		for i := 0; i < nG; i++ {
+			x := pool[rng.Intn(len(pool))]
+			y := pool[rng.Intn(len(pool))]
+			var s Signal
+			switch rng.Intn(6) {
+			case 0:
+				s = b.Nand(x, y)
+			case 1:
+				s = b.Nor(x, y)
+			case 2:
+				s = b.And(x, y, pool[rng.Intn(len(pool))])
+			case 3:
+				s = b.Or(x, y)
+			case 4:
+				s = b.Xor(x, y)
+			default:
+				s = b.Not(x)
+			}
+			pool = append(pool, s)
+		}
+		nPO := 1 + rng.Intn(4)
+		for i := 0; i < nPO; i++ {
+			b.Output("o"+itoa(i), pool[len(pool)-1-i])
+		}
+		orig, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		var sb strings.Builder
+		if err := WriteBench(&sb, orig); err != nil {
+			t.Fatalf("trial %d: write: %v", trial, err)
+		}
+		parsed, err := ParseBench(strings.NewReader(sb.String()), "rt2", l)
+		if err != nil {
+			t.Fatalf("trial %d: parse: %v", trial, err)
+		}
+
+		s1, err := NewSimulator(orig)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2, err := NewSimulator(parsed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for vec := 0; vec < 32; vec++ {
+			for i := 0; i < nPI; i++ {
+				v := rng.Intn(2) == 1
+				if err := s1.SetPIByName("i"+itoa(i), v); err != nil {
+					t.Fatal(err)
+				}
+				if err := s2.SetPIByName("i"+itoa(i), v); err != nil {
+					t.Fatal(err)
+				}
+			}
+			s1.Eval()
+			s2.Eval()
+			for i := 0; i < nPO; i++ {
+				v1, err1 := s1.PO("o" + itoa(i))
+				v2, err2 := s2.PO("o" + itoa(i))
+				if err1 != nil || err2 != nil {
+					t.Fatal(err1, err2)
+				}
+				if v1 != v2 {
+					t.Fatalf("trial %d vec %d: output o%d differs after round trip", trial, vec, i)
+				}
+			}
+		}
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

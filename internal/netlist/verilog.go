@@ -1,0 +1,100 @@
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/cell"
+)
+
+// WriteVerilog emits the design as a structural Verilog netlist over the
+// reduced library, the interchange format downstream physical-design tools
+// expect. Cell ports follow the usual liberty convention: inputs A, B, C,
+// output Z (flip-flops: D, CK, Q).
+func WriteVerilog(w io.Writer, d *Design) error {
+	bw := bufio.NewWriter(w)
+	name := sanitizeID(d.Name)
+	fmt.Fprintf(bw, "// %d gates, %d inputs, %d outputs\n", len(d.Gates), len(d.PINames), len(d.POs))
+	fmt.Fprintf(bw, "module %s (\n", name)
+
+	ports := make([]string, 0, len(d.PINames)+len(d.POs)+1)
+	hasFF := d.NumDFFs() > 0
+	if hasFF {
+		ports = append(ports, "clk")
+	}
+	for _, pi := range d.PINames {
+		ports = append(ports, sanitizeID(pi))
+	}
+	for _, po := range d.POs {
+		ports = append(ports, sanitizeID(po.Name))
+	}
+	fmt.Fprintf(bw, "  %s\n);\n", strings.Join(ports, ",\n  "))
+
+	if hasFF {
+		fmt.Fprintln(bw, "  input clk;")
+	}
+	for _, pi := range d.PINames {
+		fmt.Fprintf(bw, "  input %s;\n", sanitizeID(pi))
+	}
+	for _, po := range d.POs {
+		fmt.Fprintf(bw, "  output %s;\n", sanitizeID(po.Name))
+	}
+	for i := range d.Gates {
+		fmt.Fprintf(bw, "  wire n%d;\n", i)
+	}
+
+	net := func(s Signal) string {
+		switch s.Kind {
+		case SigPI:
+			return sanitizeID(d.PINames[s.Idx])
+		case SigGate:
+			return fmt.Sprintf("n%d", s.Idx)
+		case SigConst1:
+			return "1'b1"
+		default:
+			return "1'b0"
+		}
+	}
+	pinNames := [3]string{"A", "B", "C"}
+	for i := range d.Gates {
+		g := &d.Gates[i]
+		fmt.Fprintf(bw, "  %s u%d (", g.Cell.Name, i)
+		if g.Cell.Kind == cell.Dff {
+			fmt.Fprintf(bw, ".D(%s), .CK(clk), .Q(n%d)", net(g.Ins[0]), i)
+		} else {
+			for p, in := range g.Ins {
+				fmt.Fprintf(bw, ".%s(%s), ", pinNames[p], net(in))
+			}
+			fmt.Fprintf(bw, ".Z(n%d)", i)
+		}
+		fmt.Fprintln(bw, ");")
+	}
+	for _, po := range d.POs {
+		fmt.Fprintf(bw, "  assign %s = %s;\n", sanitizeID(po.Name), net(po.Sig))
+	}
+	fmt.Fprintln(bw, "endmodule")
+	return bw.Flush()
+}
+
+// sanitizeID makes a name a legal Verilog identifier.
+func sanitizeID(s string) string {
+	if s == "" {
+		return "_"
+	}
+	var sb strings.Builder
+	for _, r := range s {
+		ok := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9')
+		if !ok {
+			sb.WriteByte('_')
+			continue
+		}
+		sb.WriteRune(r)
+	}
+	out := sb.String()
+	if out[0] >= '0' && out[0] <= '9' {
+		out = "_" + out
+	}
+	return out
+}

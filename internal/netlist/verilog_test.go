@@ -1,0 +1,58 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteVerilog(t *testing.T) {
+	d := buildToy(t)
+	var sb strings.Builder
+	if err := WriteVerilog(&sb, d); err != nil {
+		t.Fatal(err)
+	}
+	v := sb.String()
+	for _, want := range []string{
+		"module toy", "input clk;", "input a;", "output y;", "output q;",
+		"INV_X1", "NAND2_X1", "DFF_X1", ".CK(clk)", "endmodule",
+	} {
+		if !strings.Contains(v, want) {
+			t.Errorf("verilog missing %q:\n%s", want, v)
+		}
+	}
+	// Every gate instantiated exactly once.
+	if got := strings.Count(v, "_X1 u"); got != d.NumGates() {
+		t.Errorf("found %d instances for %d gates", got, d.NumGates())
+	}
+}
+
+func TestWriteVerilogCombinationalOmitsClock(t *testing.T) {
+	b := NewBuilder("comb", lib())
+	a := b.PI("a")
+	b.Output("y", b.Not(a))
+	d, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteVerilog(&sb, d); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "clk") {
+		t.Error("combinational design should have no clock port")
+	}
+}
+
+func TestSanitizeID(t *testing.T) {
+	cases := map[string]string{
+		"a":     "a",
+		"a.b-c": "a_b_c",
+		"9x":    "_9x",
+		"":      "_",
+	}
+	for in, want := range cases {
+		if got := sanitizeID(in); got != want {
+			t.Errorf("sanitizeID(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,29 @@
+package place
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteDEF(t *testing.T) {
+	p := placed(t, "c1355")
+	var sb strings.Builder
+	if err := p.WriteDEF(&sb); err != nil {
+		t.Fatal(err)
+	}
+	def := sb.String()
+	for _, want := range []string{
+		"VERSION 5.8", "DESIGN c1355", "UNITS DISTANCE MICRONS 1000",
+		"DIEAREA", "ROW row_0", "COMPONENTS", "PLACED", "END DESIGN",
+	} {
+		if !strings.Contains(def, want) {
+			t.Errorf("DEF missing %q", want)
+		}
+	}
+	if got := strings.Count(def, "+ PLACED"); got != len(p.Design.Gates) {
+		t.Errorf("placed %d components for %d gates", got, len(p.Design.Gates))
+	}
+	if got := strings.Count(def, "\nROW "); got != p.NumRows {
+		t.Errorf("emitted %d rows for %d", got, p.NumRows)
+	}
+}

@@ -1,0 +1,49 @@
+package spice
+
+import (
+	"repro/internal/tech"
+)
+
+// SweepPoint is one point of the Figure 1 characterization: the simulated
+// inverter speed-up and total leakage increase at a body bias voltage.
+type SweepPoint struct {
+	Vbs        float64 // applied NMOS body bias, V (PMOS gets Vdd-Vbs)
+	VbsP       float64 // PMOS body terminal voltage, V
+	Speedup    float64 // fractional delay improvement vs NBB
+	LeakFactor float64 // total leakage relative to NBB
+}
+
+// Figure1Sweep reproduces the paper's Figure 1: an inverter simulated across
+// body bias voltages from 0 to Vdd. Delay comes from the transient solver,
+// leakage from the DC off-state solve plus gate and junction components.
+// Beyond 0.5 V the junction current visibly explodes, which is why the
+// optimization grid stops there.
+func Figure1Sweep(p *tech.Process, stepV float64) ([]SweepPoint, error) {
+	baseDelay, err := StackDelay(p, 1, 1, 0)
+	if err != nil {
+		return nil, err
+	}
+	baseLeak, err := OffCurrent(p, 1, 0)
+	if err != nil {
+		return nil, err
+	}
+	var pts []SweepPoint
+	for vbs := 0.0; vbs <= p.VddV+1e-9; vbs += stepV {
+		d, err := StackDelay(p, 1, 1, vbs)
+		if err != nil {
+			return nil, err
+		}
+		sub, err := OffCurrent(p, 1, vbs)
+		if err != nil {
+			return nil, err
+		}
+		leak := (1-p.GateLeakShare)*(sub/baseLeak) + p.GateLeakShare + p.JunctionFactor(vbs)
+		pts = append(pts, SweepPoint{
+			Vbs:        vbs,
+			VbsP:       p.VddV - vbs,
+			Speedup:    baseDelay/d - 1,
+			LeakFactor: leak,
+		})
+	}
+	return pts, nil
+}

@@ -1,0 +1,98 @@
+package spice
+
+import (
+	"errors"
+
+	"repro/internal/tech"
+)
+
+// DC off-state leakage solver.
+//
+// A series stack of OFF devices leaks far less than a single device because
+// the intermediate nodes float up, giving the upper devices negative Vgs and
+// reduced Vds (the "stack effect"). The solver finds the stack current by
+// bisection on the current itself: given a trial current, each device's
+// source voltage is recovered bottom-up by inverting its monotone I-V, and
+// the residual at the top drain decides the bisection direction.
+
+// OffCurrent returns the subthreshold leakage of a series stack of nSeries
+// identical unit-width OFF NMOS devices (gates grounded) with the full rail
+// across the stack and body bias vbs, in the same normalized current units
+// as Device.Ids.
+func OffCurrent(p *tech.Process, nSeries int, vbs float64) (float64, error) {
+	if nSeries < 1 || nSeries > 4 {
+		return 0, errors.New("spice: stack depth must be in [1,4]")
+	}
+	dev := NewNMOS(p, 1)
+	vdd := p.VddV
+	if nSeries == 1 {
+		return dev.Ids(0, vdd, vbs), nil
+	}
+
+	// solveStack recovers node voltages bottom-up for a trial current.
+	// It reports ok=false when some device cannot carry the current even
+	// with a full rail of headroom (trial too large); otherwise topDrain
+	// is the voltage the stack needs, to be compared against Vdd.
+	solveStack := func(current float64) (topDrain float64, ok bool) {
+		src := 0.0
+		for i := 0; i < nSeries; i++ {
+			if dev.Ids(0-src, vdd, vbs-src) < current {
+				return 0, false
+			}
+			// Find the drain voltage of device i such that it
+			// carries `current` with source at src, gate at 0V.
+			// Ids is monotone increasing in vds.
+			lo, hi := src, src+vdd
+			for iter := 0; iter < 80; iter++ {
+				mid := 0.5 * (lo + hi)
+				if dev.Ids(0-src, mid-src, vbs-src) < current {
+					lo = mid
+				} else {
+					hi = mid
+				}
+			}
+			src = 0.5 * (lo + hi)
+		}
+		return src, true
+	}
+
+	// Bisection on current in (0, single-device Ioff].
+	hiI := dev.Ids(0, vdd, vbs)
+	loI := hiI * 1e-12
+	for iter := 0; iter < 100; iter++ {
+		midI := 0.5 * (loI + hiI)
+		top, ok := solveStack(midI)
+		if !ok || top > vdd {
+			// Needs more than Vdd of headroom: current too big.
+			hiI = midI
+		} else {
+			loI = midI
+		}
+	}
+	return 0.5 * (loI + hiI), nil
+}
+
+// LeakFactorSweep returns, for each grid level, the total gate leakage
+// relative to NBB for a cell whose bias-responsive pull network is a stack of
+// nSeries devices. The total combines the simulated subthreshold stack
+// current with the bias-insensitive gate-tunnelling share and the forward
+// junction diode, using the same composition as tech.Process.LeakageFactor.
+func LeakFactorSweep(p *tech.Process, nSeries int, grid tech.BiasGrid) ([]float64, error) {
+	base, err := OffCurrent(p, nSeries, 0)
+	if err != nil {
+		return nil, err
+	}
+	if base <= 0 {
+		return nil, errors.New("spice: zero nominal off current")
+	}
+	out := make([]float64, grid.NumLevels())
+	for j := range out {
+		vbs := grid.Voltage(j)
+		sub, err := OffCurrent(p, nSeries, vbs)
+		if err != nil {
+			return nil, err
+		}
+		out[j] = (1-p.GateLeakShare)*(sub/base) + p.GateLeakShare + p.JunctionFactor(vbs)
+	}
+	return out, nil
+}

@@ -1,0 +1,67 @@
+package sta
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TextReport renders a PrimeTime-style timing summary: the critical delay, a
+// slack histogram over the extracted path set, and the top worst paths with
+// their gate chains.
+func (tm *Timing) TextReport(topPaths int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "timing report: %s\n", tm.Pl.Design.Name)
+	fmt.Fprintf(&sb, "  critical delay : %.1f ps\n", tm.DcritPS)
+	fmt.Fprintf(&sb, "  extracted paths: %d (unique longest-through-cell set)\n\n", len(tm.Paths))
+
+	// Slack histogram over ten equal bins of [0, Dcrit].
+	const bins = 10
+	counts := make([]int, bins)
+	for _, p := range tm.Paths {
+		b := int(p.SlackPS / tm.DcritPS * bins)
+		if b >= bins {
+			b = bins - 1
+		}
+		if b < 0 {
+			b = 0
+		}
+		counts[b]++
+	}
+	maxN := 1
+	for _, n := range counts {
+		if n > maxN {
+			maxN = n
+		}
+	}
+	sb.WriteString("  slack histogram (fraction of Dcrit):\n")
+	for b := 0; b < bins; b++ {
+		lo := float64(b) / bins
+		hi := float64(b+1) / bins
+		bar := strings.Repeat("#", counts[b]*40/maxN)
+		fmt.Fprintf(&sb, "  %4.0f%%-%3.0f%% %5d %s\n", lo*100, hi*100, counts[b], bar)
+	}
+
+	if topPaths > len(tm.Paths) {
+		topPaths = len(tm.Paths)
+	}
+	if topPaths > 0 {
+		fmt.Fprintf(&sb, "\n  %d worst paths:\n", topPaths)
+	}
+	for i := 0; i < topPaths; i++ {
+		p := tm.Paths[i]
+		fmt.Fprintf(&sb, "  #%d  delay %.1f ps, slack %.1f ps, %d gates:",
+			i+1, p.DelayPS, p.SlackPS, len(p.Gates))
+		for k, g := range p.Gates {
+			if k > 0 {
+				sb.WriteString(" ->")
+			}
+			if k >= 8 {
+				fmt.Fprintf(&sb, " ... (%d more)", len(p.Gates)-k)
+				break
+			}
+			fmt.Fprintf(&sb, " %s(g%d)", tm.Pl.Design.Gates[g].Cell.Name, g)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

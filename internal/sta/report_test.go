@@ -1,0 +1,29 @@
+package sta
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cell"
+)
+
+func TestTextReport(t *testing.T) {
+	l := cell.Default()
+	tm := analyze(t, mustGen(t, l, "c1355"))
+	rep := tm.TextReport(3)
+	for _, want := range []string{"critical delay", "slack histogram", "worst paths", "#1"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+	// The worst path line must reference real cells.
+	if !strings.Contains(rep, "_X") {
+		t.Error("report paths show no cell names")
+	}
+	// Requesting more paths than exist must not panic.
+	_ = tm.TextReport(1 << 20)
+	// Zero paths suppresses the section.
+	if s := tm.TextReport(0); strings.Contains(s, "worst paths") {
+		t.Error("zero-path report still lists paths")
+	}
+}

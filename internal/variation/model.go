@@ -1,0 +1,159 @@
+// Package variation models process variability, timing sensors and the
+// post-silicon tuning loop of the paper's section 3.1.
+//
+// Threshold-voltage variation is decomposed the standard way: a die-to-die
+// offset, a spatially correlated within-die (systematic) surface, and
+// per-gate random mismatch. Dies sampled from the model are re-timed with
+// the STA engine, sensed by replica or in-situ monitors, and compensated by
+// the core allocator under a sensed slowdown — the full loop the paper
+// assumes around its clustering method. Temperature and NBTI aging provide
+// the dynamic-variation axis ([4], [5]).
+package variation
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+
+	"repro/internal/netlist"
+	"repro/internal/place"
+	"repro/internal/sta"
+	"repro/internal/tech"
+)
+
+// Model describes threshold-voltage variability (all sigmas in millivolts).
+type Model struct {
+	// SigmaD2DmV is the die-to-die Vth sigma.
+	SigmaD2DmV float64
+	// SigmaSysmV is the spatially correlated within-die sigma.
+	SigmaSysmV float64
+	// SigmaRndmV is the per-gate random mismatch sigma.
+	SigmaRndmV float64
+	// CorrLenUM is the correlation length of the systematic surface.
+	CorrLenUM float64
+}
+
+// Default returns a 45nm-class variability model.
+func Default() Model {
+	return Model{SigmaD2DmV: 20, SigmaSysmV: 12, SigmaRndmV: 8, CorrLenUM: 150}
+}
+
+// Die is one sampled die: a per-gate threshold shift and the derived delay
+// multipliers.
+type Die struct {
+	Seed int64
+	// DVthV is the per-gate threshold shift in volts (positive = slower).
+	DVthV []float64
+	// DelayScale multiplies each gate's nominal delay.
+	DelayScale []float64
+}
+
+// Sample draws a die. The systematic surface is a sum of random-direction
+// cosine waves with wavelengths near the correlation length, the standard
+// cheap construction for spatially correlated variation.
+func (m Model) Sample(pl *place.Placement, proc *tech.Process, seed int64) *Die {
+	rng := rand.New(rand.NewSource(seed))
+	n := len(pl.Design.Gates)
+	die := &Die{
+		Seed:       seed,
+		DVthV:      make([]float64, n),
+		DelayScale: make([]float64, n),
+	}
+	d2d := rng.NormFloat64() * m.SigmaD2DmV / 1000
+
+	const waves = 6
+	type wave struct{ kx, ky, phase, amp float64 }
+	var ws []wave
+	if m.SigmaSysmV > 0 && m.CorrLenUM > 0 {
+		amp := m.SigmaSysmV / 1000 * math.Sqrt(2/float64(waves))
+		for i := 0; i < waves; i++ {
+			theta := rng.Float64() * 2 * math.Pi
+			lambda := m.CorrLenUM * (0.7 + 0.6*rng.Float64())
+			ws = append(ws, wave{
+				kx:    2 * math.Pi / lambda * math.Cos(theta),
+				ky:    2 * math.Pi / lambda * math.Sin(theta),
+				phase: rng.Float64() * 2 * math.Pi,
+				amp:   amp,
+			})
+		}
+	}
+
+	for g := 0; g < n; g++ {
+		x, y := pl.GateCenter(netlist.GateID(g))
+		sys := 0.0
+		for _, w := range ws {
+			sys += w.amp * math.Cos(w.kx*x+w.ky*y+w.phase)
+		}
+		dvth := d2d + sys + rng.NormFloat64()*m.SigmaRndmV/1000
+		die.DVthV[g] = dvth
+		die.DelayScale[g] = proc.DelayFactorDVth(dvth)
+	}
+	return die
+}
+
+// Timing runs STA at the die's corner.
+func (d *Die) Timing(pl *place.Placement) (*sta.Timing, error) {
+	return sta.Analyze(pl, sta.Options{DelayScale: d.DelayScale})
+}
+
+// TimingWithBias runs STA with both the die's variation and a row-level
+// body-bias assignment applied.
+func (d *Die) TimingWithBias(pl *place.Placement, proc *tech.Process, assign []int) (*sta.Timing, error) {
+	if len(assign) != pl.NumRows {
+		return nil, errors.New("variation: assignment length mismatch")
+	}
+	grid := pl.Lib.Grid
+	scale := make([]float64, len(d.DelayScale))
+	for g := range scale {
+		vbs := grid.Voltage(assign[pl.RowOf[g]])
+		scale[g] = proc.DelayFactorBias(vbs, d.DVthV[g])
+	}
+	return sta.Analyze(pl, sta.Options{DelayScale: scale})
+}
+
+// LeakageNW returns the die's total leakage under an assignment (nil for no
+// body bias), accounting for the per-gate variation, in nanowatts.
+func (d *Die) LeakageNW(pl *place.Placement, proc *tech.Process, assign []int) float64 {
+	grid := pl.Lib.Grid
+	total := 0.0
+	for g := range pl.Design.Gates {
+		vbs := 0.0
+		if assign != nil {
+			vbs = grid.Voltage(assign[pl.RowOf[g]])
+		}
+		total += pl.Design.Gates[g].Cell.LeakNW * proc.LeakageFactorBias(vbs, d.DVthV[g])
+	}
+	return total
+}
+
+// Aged returns a copy of the die after NBTI-like aging: a t^0.16 threshold
+// drift scaled by the activity factor, with 20% per-gate spread.
+func (d *Die) Aged(proc *tech.Process, years, activity float64) *Die {
+	if years <= 0 {
+		return d
+	}
+	drift := AgingDVthV(years, activity)
+	rng := rand.New(rand.NewSource(d.Seed ^ 0x5eed))
+	out := &Die{
+		Seed:       d.Seed,
+		DVthV:      make([]float64, len(d.DVthV)),
+		DelayScale: make([]float64, len(d.DVthV)),
+	}
+	for g := range d.DVthV {
+		out.DVthV[g] = d.DVthV[g] + drift*(1+0.2*rng.NormFloat64())
+		out.DelayScale[g] = proc.DelayFactorDVth(out.DVthV[g])
+	}
+	return out
+}
+
+// AgingDVthV is the NBTI threshold drift in volts after the given years at
+// the given activity factor (0..1): roughly 30 mV at ten years of full
+// activity, following the usual t^0.16 power law.
+func AgingDVthV(years, activity float64) float64 {
+	if years <= 0 {
+		return 0
+	}
+	const atTenYears = 0.030
+	a := atTenYears / math.Pow(10, 0.16)
+	return a * math.Pow(years, 0.16) * math.Max(0, math.Min(1, activity))
+}

@@ -1,0 +1,162 @@
+package variation
+
+import (
+	"errors"
+
+	"repro/internal/place"
+	"repro/internal/sta"
+	"repro/internal/tech"
+)
+
+// Reverse body bias (RBB) support. The paper's compensation flow uses FBB to
+// rescue slow dies; its discussion (sections 1-2, following Tschanz et al.
+// [8]) notes the complementary knob: dies that come out *faster* than
+// nominal waste leakage, and a reverse bias can raise their threshold back
+// until the timing margin is consumed. This extension applies block-level
+// RBB to fast dies, the granularity [8] used; the row-clustered machinery is
+// unnecessary here because RBB is bounded by the single most-critical path.
+
+// RBBResult reports a leakage-recovery attempt.
+type RBBResult struct {
+	// Applied is false when the die had no usable timing margin.
+	Applied bool
+	// VbsV is the (negative) body bias chosen.
+	VbsV float64
+	// DcritBeforePS/DcritAfterPS bracket the timing cost.
+	DcritBeforePS, DcritAfterPS float64
+	// LeakBeforeNW/LeakAfterNW bracket the leakage gain.
+	LeakBeforeNW, LeakAfterNW float64
+	// SavedPct is the leakage reduction in percent.
+	SavedPct float64
+}
+
+// RBBOptions configure leakage recovery.
+type RBBOptions struct {
+	// StepV is the generator resolution on the reverse side (default
+	// 50 mV, mirroring the forward grid).
+	StepV float64
+	// MaxV is the deepest reverse bias magnitude (default 0.5 V; beyond
+	// that RBB loses effectiveness through BTBT leakage and worsened
+	// short-channel effects, as the paper notes).
+	MaxV float64
+	// MarginPct keeps this fraction of Dcrit as safety margin
+	// (default 0.002).
+	MarginPct float64
+}
+
+func (o *RBBOptions) setDefaults() {
+	if o.StepV <= 0 {
+		o.StepV = 0.05
+	}
+	if o.MaxV <= 0 {
+		o.MaxV = 0.5
+	}
+	if o.MarginPct <= 0 {
+		o.MarginPct = 0.002
+	}
+}
+
+// RecoverLeakage applies the deepest uniform reverse bias that keeps the
+// die within nominal timing. The die's own variation is accounted for
+// exactly: each gate's delay combines its threshold shift with the reverse
+// bias through the process model.
+func RecoverLeakage(pl *place.Placement, nom *sta.Timing, die *Die, proc *tech.Process, opts RBBOptions) (*RBBResult, error) {
+	opts.setDefaults()
+	if nom == nil || die == nil {
+		return nil, errors.New("variation: nil timing or die")
+	}
+	dieTm, err := die.Timing(pl)
+	if err != nil {
+		return nil, err
+	}
+	res := &RBBResult{
+		DcritBeforePS: dieTm.DcritPS,
+		DcritAfterPS:  dieTm.DcritPS,
+		LeakBeforeNW:  die.LeakageNW(pl, proc, nil),
+	}
+	res.LeakAfterNW = res.LeakBeforeNW
+	limit := nom.DcritPS * (1 - opts.MarginPct)
+	if dieTm.DcritPS >= limit {
+		return res, nil // no margin to spend
+	}
+
+	scale := make([]float64, len(die.DVthV))
+	tryBias := func(vbs float64) (float64, error) {
+		for g := range scale {
+			scale[g] = proc.DelayFactorBias(vbs, die.DVthV[g])
+		}
+		tm, err := sta.Analyze(pl, sta.Options{DelayScale: scale})
+		if err != nil {
+			return 0, err
+		}
+		return tm.DcritPS, nil
+	}
+
+	// Deepest feasible reverse level, scanned from the shallow end (the
+	// feasible set is contiguous: more RBB is strictly slower).
+	best, bestDcrit := 0.0, dieTm.DcritPS
+	for vbs := -opts.StepV; vbs >= -opts.MaxV-1e-9; vbs -= opts.StepV {
+		dcrit, err := tryBias(vbs)
+		if err != nil {
+			return nil, err
+		}
+		if dcrit > limit {
+			break
+		}
+		best, bestDcrit = vbs, dcrit
+	}
+	if best == 0 {
+		return res, nil
+	}
+
+	res.Applied = true
+	res.VbsV = best
+	res.DcritAfterPS = bestDcrit
+	leak := 0.0
+	for g := range pl.Design.Gates {
+		leak += pl.Design.Gates[g].Cell.LeakNW * proc.LeakageFactorBias(best, die.DVthV[g])
+	}
+	res.LeakAfterNW = leak
+	res.SavedPct = 100 * (res.LeakBeforeNW - leak) / res.LeakBeforeNW
+	return res, nil
+}
+
+// RecoveryStats aggregates RBB over a die population.
+type RecoveryStats struct {
+	Dies             int
+	Recovered        int
+	MeanSavedPct     float64 // over recovered dies
+	MeanLeakBeforeNW float64
+	MeanLeakAfterNW  float64
+}
+
+// RecoveryStudy applies RBB to every fast die of a population.
+func RecoveryStudy(pl *place.Placement, proc *tech.Process, m Model, nDies int, seed int64, opts RBBOptions) (*RecoveryStats, error) {
+	if nDies <= 0 {
+		return nil, errors.New("variation: nDies must be positive")
+	}
+	nom, err := sta.Analyze(pl, sta.Options{})
+	if err != nil {
+		return nil, err
+	}
+	st := &RecoveryStats{Dies: nDies}
+	for i := 0; i < nDies; i++ {
+		die := m.Sample(pl, proc, seed+int64(i)*104729)
+		r, err := RecoverLeakage(pl, nom, die, proc, opts)
+		if err != nil {
+			return nil, err
+		}
+		st.MeanLeakBeforeNW += r.LeakBeforeNW
+		st.MeanLeakAfterNW += r.LeakAfterNW
+		if r.Applied {
+			st.Recovered++
+			st.MeanSavedPct += r.SavedPct
+		}
+	}
+	st.MeanLeakBeforeNW /= float64(nDies)
+	st.MeanLeakAfterNW /= float64(nDies)
+	if st.Recovered > 0 {
+		st.MeanSavedPct /= float64(st.Recovered)
+	}
+	return st, nil
+}

@@ -1,0 +1,84 @@
+package variation
+
+import (
+	"math/rand"
+
+	"repro/internal/sta"
+)
+
+// Sensor estimates a die's slowdown coefficient beta relative to nominal
+// timing. The paper's section 3.1 describes both styles implemented here.
+type Sensor interface {
+	// MeasureBeta returns the estimated slowdown (0.05 = 5% slower).
+	MeasureBeta(nom, die *sta.Timing) float64
+}
+
+// ReplicaSensor models critical-path replicas placed around the block
+// (Teodorescu et al. [5]): it observes the die delay of the R longest
+// nominal paths, with multiplicative measurement noise. Replicas can miss
+// the true critical path of a particular die, which is why tuning wants a
+// guardband.
+type ReplicaSensor struct {
+	// Replicas is the number of replicated paths (default 8).
+	Replicas int
+	// NoisePct is the 1-sigma relative measurement error (e.g. 0.01).
+	NoisePct float64
+	// Seed makes the noise deterministic.
+	Seed int64
+}
+
+// MeasureBeta implements Sensor.
+func (s ReplicaSensor) MeasureBeta(nom, die *sta.Timing) float64 {
+	r := s.Replicas
+	if r <= 0 {
+		r = 8
+	}
+	if r > len(nom.Paths) {
+		r = len(nom.Paths)
+	}
+	rng := rand.New(rand.NewSource(s.Seed))
+	worst := 0.0
+	for i := 0; i < r; i++ {
+		p := nom.Paths[i]
+		nomDelay, dieDelay := 0.0, 0.0
+		for _, g := range p.Gates {
+			nomDelay += nom.GateDelayPS[g]
+			dieDelay += die.GateDelayPS[g]
+		}
+		if nomDelay <= 0 {
+			continue
+		}
+		ratio := dieDelay / nomDelay
+		ratio *= 1 + rng.NormFloat64()*s.NoisePct
+		if b := ratio - 1; b > worst {
+			worst = b
+		}
+	}
+	return worst
+}
+
+// InSituMonitor models the modified flip-flops of Mitra [3]: every endpoint
+// is observed, so the measurement sees the true critical slowdown, quantized
+// to the monitor's resolution.
+type InSituMonitor struct {
+	// ResolutionPct quantizes the reading upward (e.g. 0.01 for 1% steps);
+	// zero means exact.
+	ResolutionPct float64
+}
+
+// MeasureBeta implements Sensor.
+func (s InSituMonitor) MeasureBeta(nom, die *sta.Timing) float64 {
+	beta := die.DcritPS/nom.DcritPS - 1
+	if beta < 0 {
+		return beta
+	}
+	if s.ResolutionPct > 0 {
+		steps := beta / s.ResolutionPct
+		whole := float64(int(steps))
+		if steps > whole {
+			whole++
+		}
+		beta = whole * s.ResolutionPct
+	}
+	return beta
+}

@@ -1,0 +1,240 @@
+package variation
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/place"
+	"repro/internal/sta"
+	"repro/internal/tech"
+)
+
+// TuneOptions configure the post-silicon tuning loop.
+type TuneOptions struct {
+	// Sensor estimates the die slowdown (default: exact in-situ monitor
+	// with 1% resolution).
+	Sensor Sensor
+	// GuardbandPct is added to the sensed slowdown before allocation
+	// (sensor error headroom).
+	GuardbandPct float64
+	// MaxClusters / MaxBiasPairs bound the clustering (defaults 3 / 2).
+	MaxClusters  int
+	MaxBiasPairs int
+	// MaxIters bounds the escalate-and-retry loop (default 5).
+	MaxIters int
+	// SlackTolPct accepts dies within this fraction above nominal Dcrit
+	// (default 0.001).
+	SlackTolPct float64
+}
+
+func (o *TuneOptions) setDefaults() {
+	if o.Sensor == nil {
+		o.Sensor = InSituMonitor{ResolutionPct: 0.01}
+	}
+	if o.MaxClusters == 0 {
+		o.MaxClusters = 3
+	}
+	if o.MaxBiasPairs == 0 {
+		o.MaxBiasPairs = 2
+	}
+	if o.MaxIters <= 0 {
+		o.MaxIters = 5
+	}
+	if o.SlackTolPct <= 0 {
+		o.SlackTolPct = 0.001
+	}
+}
+
+// TuneResult reports one die's tuning outcome.
+type TuneResult struct {
+	// BetaActual is the die's true slowdown; BetaSensed what the sensor
+	// saw (before guardband).
+	BetaActual, BetaSensed float64
+	// Solution is the applied clustering (nil when no bias was needed).
+	Solution *core.Solution
+	// Met reports whether the tuned die meets nominal timing.
+	Met bool
+	// Reason explains a failed tuning.
+	Reason string
+	// DcritBeforePS/DcritAfterPS are the die critical delays.
+	DcritBeforePS, DcritAfterPS float64
+	// LeakBeforeNW/LeakAfterNW are the die leakages.
+	LeakBeforeNW, LeakAfterNW float64
+	// Iters counts allocation attempts.
+	Iters int
+}
+
+// Tune runs the paper's post-silicon flow on one die: sense the slowdown,
+// allocate clustered FBB for it on the design-time (nominal) timing model,
+// verify against the die's actual variation, and escalate the target
+// slowdown if the non-uniform variation defeats the uniform-beta model.
+func Tune(pl *place.Placement, nom *sta.Timing, die *Die, proc *tech.Process, opts TuneOptions) (*TuneResult, error) {
+	opts.setDefaults()
+	dieTm, err := die.Timing(pl)
+	if err != nil {
+		return nil, err
+	}
+	res := &TuneResult{
+		BetaActual:    dieTm.DcritPS/nom.DcritPS - 1,
+		DcritBeforePS: dieTm.DcritPS,
+		LeakBeforeNW:  die.LeakageNW(pl, proc, nil),
+	}
+	limit := nom.DcritPS * (1 + opts.SlackTolPct)
+
+	res.BetaSensed = opts.Sensor.MeasureBeta(nom, dieTm)
+	target := res.BetaSensed + opts.GuardbandPct
+	if dieTm.DcritPS <= limit && target <= 0 {
+		// Fast or nominal die: nothing to do.
+		res.Met = true
+		res.DcritAfterPS = dieTm.DcritPS
+		res.LeakAfterNW = res.LeakBeforeNW
+		return res, nil
+	}
+	if target <= 0 {
+		target = 0.005 // sensor saw nothing but the die misses timing
+	}
+
+	for iter := 0; iter < opts.MaxIters; iter++ {
+		res.Iters = iter + 1
+		prob, err := core.BuildProblem(pl, nom, core.Options{
+			Beta:         target,
+			MaxClusters:  opts.MaxClusters,
+			MaxBiasPairs: opts.MaxBiasPairs,
+		})
+		if err != nil {
+			return nil, err
+		}
+		sol, err := prob.SolveHeuristic()
+		if err != nil {
+			// Beyond the FBB compensation range.
+			res.Reason = err.Error()
+			res.DcritAfterPS = dieTm.DcritPS
+			res.LeakAfterNW = res.LeakBeforeNW
+			return res, nil
+		}
+		tuned, err := die.TimingWithBias(pl, proc, sol.Assign)
+		if err != nil {
+			return nil, err
+		}
+		res.Solution = sol
+		res.DcritAfterPS = tuned.DcritPS
+		res.LeakAfterNW = die.LeakageNW(pl, proc, sol.Assign)
+		if tuned.DcritPS <= limit {
+			res.Met = true
+			return res, nil
+		}
+		// The uniform-beta model under-estimated this die's worst
+		// corner; escalate and retry (a real controller bumps the
+		// bias code the same way).
+		short := tuned.DcritPS/nom.DcritPS - 1
+		target += short + 0.005
+	}
+	res.Reason = fmt.Sprintf("not met after %d escalations", opts.MaxIters)
+	return res, nil
+}
+
+// YieldStats aggregates a Monte-Carlo tuning study.
+type YieldStats struct {
+	Dies                 int
+	MetBefore, MetAfter  int
+	MeanBetaPct          float64
+	WorstBetaPct         float64
+	MeanLeakBeforeNW     float64
+	MeanLeakAfterNW      float64
+	MeanLeakTunedOnlyNW  float64 // average leakage of dies that got bias
+	TunedDies            int
+	FailedCompensations  int
+	MeanTuneIters        float64
+	MeanClustersPerTuned float64
+}
+
+// YieldPct returns before/after parametric yield percentages.
+func (y *YieldStats) YieldPct() (before, after float64) {
+	if y.Dies == 0 {
+		return 0, 0
+	}
+	return 100 * float64(y.MetBefore) / float64(y.Dies),
+		100 * float64(y.MetAfter) / float64(y.Dies)
+}
+
+// YieldStudy samples nDies from the model, tunes each, and aggregates the
+// yield and leakage statistics — the system-level experiment motivating the
+// paper ("bring the slow dies back to within the range of acceptable
+// specs"). Dies are tuned concurrently (one worker per CPU); the per-die
+// seeds make the result independent of scheduling.
+func YieldStudy(pl *place.Placement, proc *tech.Process, m Model, nDies int, seed int64, opts TuneOptions) (*YieldStats, error) {
+	if nDies <= 0 {
+		return nil, errors.New("variation: nDies must be positive")
+	}
+	nom, err := sta.Analyze(pl, sta.Options{})
+	if err != nil {
+		return nil, err
+	}
+	opts.setDefaults()
+	limit := nom.DcritPS * (1 + opts.SlackTolPct)
+
+	results := make([]*TuneResult, nDies)
+	errs := make([]error, nDies)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > nDies {
+		workers = nDies
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				die := m.Sample(pl, proc, seed+int64(i)*7919)
+				results[i], errs[i] = Tune(pl, nom, die, proc, opts)
+			}
+		}()
+	}
+	for i := 0; i < nDies; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	st := &YieldStats{Dies: nDies}
+	sumIters, sumClusters := 0, 0
+	for i, r := range results {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		st.MeanBetaPct += r.BetaActual * 100
+		if r.BetaActual*100 > st.WorstBetaPct {
+			st.WorstBetaPct = r.BetaActual * 100
+		}
+		if r.DcritBeforePS <= limit {
+			st.MetBefore++
+		}
+		if r.Met {
+			st.MetAfter++
+		}
+		st.MeanLeakBeforeNW += r.LeakBeforeNW
+		st.MeanLeakAfterNW += r.LeakAfterNW
+		if r.Solution != nil {
+			st.TunedDies++
+			st.MeanLeakTunedOnlyNW += r.LeakAfterNW
+			sumIters += r.Iters
+			sumClusters += r.Solution.Clusters
+		}
+		if !r.Met {
+			st.FailedCompensations++
+		}
+	}
+	st.MeanBetaPct /= float64(nDies)
+	st.MeanLeakBeforeNW /= float64(nDies)
+	st.MeanLeakAfterNW /= float64(nDies)
+	if st.TunedDies > 0 {
+		st.MeanLeakTunedOnlyNW /= float64(st.TunedDies)
+		st.MeanTuneIters = float64(sumIters) / float64(st.TunedDies)
+		st.MeanClustersPerTuned = float64(sumClusters) / float64(st.TunedDies)
+	}
+	return st, nil
+}

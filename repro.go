@@ -1,0 +1,193 @@
+// Package repro is the public entry point of ClusterFBB, a from-scratch
+// reproduction of "Physically Clustered Forward Body Biasing for Variability
+// Compensation in Nanometer CMOS design" (Sathanur, Pullini, Benini,
+// De Micheli, Macii — DATE 2009).
+//
+// The package wires the full flow together: benchmark generation (or a
+// user-provided netlist), row-based placement, static timing analysis,
+// clustering-problem construction, the single-voltage baseline, the
+// two-pass heuristic, the exact ILP, and the layout implementation check.
+// Experiment drivers regenerating every figure and table of the paper live
+// in experiments.go; the runnable programs under cmd/ and examples/ are
+// thin wrappers over this API.
+package repro
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/cell"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/layout"
+	"repro/internal/netlist"
+	"repro/internal/place"
+	"repro/internal/sta"
+)
+
+// Config selects a design and the allocation parameters.
+type Config struct {
+	// Benchmark names one of the paper's Table 1 designs (see
+	// Benchmarks); alternatively supply a Design directly.
+	Benchmark string
+	// Design is a custom netlist mapped to the default library; it takes
+	// precedence over Benchmark.
+	Design *netlist.Design
+
+	// Beta is the slowdown coefficient to compensate (default 0.05).
+	Beta float64
+	// MaxClusters is C (default 3); MaxBiasPairs caps routed pairs
+	// (default 2).
+	MaxClusters  int
+	MaxBiasPairs int
+
+	// RunILP additionally runs the exact allocator with ILPTimeLimit
+	// (default 30s when RunILP is set).
+	RunILP       bool
+	ILPTimeLimit time.Duration
+
+	// ForceRows overrides the placer's row count (0 = automatic).
+	ForceRows int
+	// SkipLayout disables the layout implementation check.
+	SkipLayout bool
+}
+
+// Result carries everything the flow produced.
+type Result struct {
+	// Design/Rows/DcritPS/Constraints describe the instance.
+	Design      netlist.Stats
+	Rows        int
+	DcritPS     float64
+	Constraints int
+
+	// Single, Heuristic and ILP are the allocations (ILP nil unless
+	// requested and solved; Single/Heuristic always set).
+	Single    *core.Solution
+	Heuristic *core.Solution
+	ILP       *core.Solution
+	// ILPStatus reports the branch-and-bound outcome ("" if not run),
+	// ILPNodes the explored nodes.
+	ILPStatus string
+	ILPNodes  int
+
+	// HeuristicTime and ILPTime are wall-clock allocator runtimes.
+	HeuristicTime time.Duration
+	ILPTime       time.Duration
+
+	// Layout is the implementation report for the heuristic solution.
+	Layout *layout.Report
+
+	// Problem, Placement and Timing expose the underlying objects for
+	// further experiments.
+	Problem   *core.Problem
+	Placement *place.Placement
+	Timing    *sta.Timing
+}
+
+// Benchmarks returns the names of the built-in Table 1 designs.
+func Benchmarks() []string { return gen.Names() }
+
+// buildBench generates a named benchmark design.
+func buildBench(name string, lib *cell.Library) (*netlist.Design, error) {
+	return gen.Build(name, lib)
+}
+
+// Library returns the shared characterized 45nm cell library.
+func Library() *cell.Library { return cell.Default() }
+
+// Run executes the full flow.
+func Run(cfg Config) (*Result, error) {
+	lib := cell.Default()
+	d := cfg.Design
+	if d == nil {
+		if cfg.Benchmark == "" {
+			return nil, errors.New("repro: no benchmark or design given")
+		}
+		var err error
+		d, err = gen.Build(cfg.Benchmark, lib)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Beta == 0 {
+		cfg.Beta = 0.05
+	}
+
+	pl, err := place.Place(d, lib, place.Options{ForceRows: cfg.ForceRows})
+	if err != nil {
+		return nil, err
+	}
+	tm, err := sta.Analyze(pl, sta.Options{})
+	if err != nil {
+		return nil, err
+	}
+	prob, err := core.BuildProblem(pl, tm, core.Options{
+		Beta:         cfg.Beta,
+		MaxClusters:  cfg.MaxClusters,
+		MaxBiasPairs: cfg.MaxBiasPairs,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		Design:      d.Stats(),
+		Rows:        pl.NumRows,
+		DcritPS:     tm.DcritPS,
+		Constraints: prob.NumConstraints(),
+		Problem:     prob,
+		Placement:   pl,
+		Timing:      tm,
+	}
+
+	res.Single, err = prob.SingleBB()
+	if err != nil {
+		return nil, fmt.Errorf("repro: %s: %w", d.Name, err)
+	}
+	start := time.Now()
+	res.Heuristic, err = prob.SolveHeuristic()
+	if err != nil {
+		return nil, err
+	}
+	res.HeuristicTime = time.Since(start)
+
+	if cfg.RunILP {
+		limit := cfg.ILPTimeLimit
+		if limit <= 0 {
+			limit = 30 * time.Second
+		}
+		start = time.Now()
+		sol, ires, err := prob.SolveILP(core.ILPOptions{
+			TimeLimit: limit,
+			WarmStart: res.Heuristic,
+		})
+		res.ILPTime = time.Since(start)
+		if err != nil {
+			return nil, err
+		}
+		res.ILP = sol
+		if ires != nil {
+			res.ILPStatus = ires.Status.String()
+			res.ILPNodes = ires.Nodes
+		}
+	}
+
+	if !cfg.SkipLayout {
+		res.Layout, err = layout.Apply(pl, res.Heuristic.Assign, layout.Options{})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// SavingsPct returns the heuristic and ILP savings versus the single-voltage
+// baseline (ILP savings is NaN-free: zero when the ILP was not run).
+func (r *Result) SavingsPct() (heuristic, ilp float64) {
+	heuristic = core.Savings(r.Single, r.Heuristic)
+	if r.ILP != nil {
+		ilp = core.Savings(r.Single, r.ILP)
+	}
+	return heuristic, ilp
+}
