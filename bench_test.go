@@ -7,12 +7,12 @@ package repro
 
 import (
 	"fmt"
-	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/cell"
 	"repro/internal/core"
+	"repro/internal/flow"
 	"repro/internal/gen"
 	"repro/internal/layout"
 	"repro/internal/lp"
@@ -24,13 +24,9 @@ import (
 	"repro/internal/variation"
 )
 
-var benchOnce sync.Map
+var benchOnce flow.Once
 
-func printOnce(key string, f func()) {
-	if _, loaded := benchOnce.LoadOrStore(key, true); !loaded {
-		f()
-	}
-}
+func printOnce(key string, f func()) { benchOnce.Do(key, f) }
 
 // BenchmarkFigure1BodyBiasSweep regenerates Figure 1: simulated inverter
 // speed-up and leakage vs body bias.
@@ -90,6 +86,10 @@ func table1Bench(b *testing.B, name string) {
 			return s
 		}
 		for _, r := range rows {
+			if r.Err != "" {
+				fmt.Println("table1:", name, r.Err)
+				continue
+			}
 			t.Add(fmt.Sprintf("%.0f%%", r.BetaPct),
 				fmt.Sprintf("%.3f", r.SingleBBuW),
 				cellOf(r.ILPValidC2, r.ILPProvenC2, r.ILPSavC2),

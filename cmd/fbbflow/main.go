@@ -1,13 +1,20 @@
-// Command fbbflow runs the complete clustered-FBB flow on one benchmark:
-// generate, place, time, allocate (heuristic and optionally ILP), and check
-// the layout implementation.
+// Command fbbflow runs the complete clustered-FBB flow on one or more
+// benchmarks: generate, place, time, allocate (heuristic and optionally
+// ILP), and check the layout implementation.
+//
+// -bench accepts a comma-separated list or "all"; with more than one
+// benchmark the flows fan out over the flow engine's worker pool
+// (-parallel bounds it; 0 = one per CPU) and the reports print in input
+// order.
 //
 // Usage:
 //
-//	fbbflow -bench c5315 -beta 0.05 -c 3 [-ilp] [-ilp-timeout 30s] [-ascii]
+//	fbbflow -bench c5315 -beta 0.05 -c 3 [-ilp] [-ilp-timeout 30s]
+//	        [-parallel 0] [-ascii]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -16,6 +23,7 @@ import (
 
 	"repro"
 	"repro/internal/core"
+	"repro/internal/flow"
 	"repro/internal/layout"
 	"repro/internal/netlist"
 	"repro/internal/report"
@@ -23,33 +31,75 @@ import (
 
 func main() {
 	var (
-		bench      = flag.String("bench", "c5315", "benchmark name ("+strings.Join(repro.Benchmarks(), ", ")+")")
+		bench      = flag.String("bench", "c5315", "comma-separated benchmark names, or \"all\" ("+strings.Join(repro.Benchmarks(), ", ")+")")
 		beta       = flag.Float64("beta", 0.05, "slowdown coefficient to compensate")
 		c          = flag.Int("c", 3, "maximum clusters (incl. no-body-bias)")
 		runILP     = flag.Bool("ilp", false, "also run the exact ILP allocator")
 		ilpTimeout = flag.Duration("ilp-timeout", 30*time.Second, "ILP time budget")
+		parallel   = flag.Int("parallel", 0, "concurrent benchmark flows (0 = one per CPU, 1 = sequential)")
 		ascii      = flag.Bool("ascii", false, "print the clustered layout (Figure 3 style)")
 		timing     = flag.Bool("timing", false, "print a timing report (slack histogram, worst paths)")
-		defOut     = flag.String("def", "", "write the placement to this DEF file")
-		vOut       = flag.String("verilog", "", "write the mapped netlist to this Verilog file")
+		defOut     = flag.String("def", "", "write the placement to this DEF file (single benchmark only)")
+		vOut       = flag.String("verilog", "", "write the mapped netlist to this Verilog file (single benchmark only)")
 	)
 	flag.Parse()
 
-	res, err := repro.Run(repro.Config{
-		Benchmark:    *bench,
-		Beta:         *beta,
-		MaxClusters:  *c,
-		RunILP:       *runILP,
-		ILPTimeLimit: *ilpTimeout,
-	})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "fbbflow:", err)
+	benches := strings.Split(*bench, ",")
+	if *bench == "all" {
+		benches = repro.Benchmarks()
+	}
+	if len(benches) > 1 && (*defOut != "" || *vOut != "") {
+		fmt.Fprintln(os.Stderr, "fbbflow: -def/-verilog need a single -bench")
 		os.Exit(1)
 	}
 
+	runner := repro.NewRunner(*parallel)
+	results, errs := flow.MapAll(context.Background(), *parallel, len(benches),
+		func(_ context.Context, i int) (*repro.Result, error) {
+			return repro.RunOn(runner.Engine(), repro.Config{
+				Benchmark:    strings.TrimSpace(benches[i]),
+				Beta:         *beta,
+				MaxClusters:  *c,
+				RunILP:       *runILP,
+				ILPTimeLimit: *ilpTimeout,
+			})
+		})
+
+	// One broken benchmark must not discard the completed reports: print
+	// every result in input order, annotate the failures, and exit
+	// non-zero if anything failed.
+	failed := 0
+	for i, res := range results {
+		if i > 0 {
+			fmt.Println()
+		}
+		if errs[i] != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "fbbflow: %s: %v\n", strings.TrimSpace(benches[i]), errs[i])
+			continue
+		}
+		printResult(res, *beta, *runILP, *ascii, *timing)
+	}
+
+	if res := results[0]; errs[0] == nil {
+		if *defOut != "" {
+			writeArtifact(*defOut, func(f *os.File) error { return res.Placement.WriteDEF(f) })
+		}
+		if *vOut != "" {
+			writeArtifact(*vOut, func(f *os.File) error {
+				return netlist.WriteVerilog(f, res.Placement.Design)
+			})
+		}
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+func printResult(res *repro.Result, beta float64, runILP, ascii, timing bool) {
 	fmt.Printf("%s: %d gates (%d FF), %d rows, Dcrit %.0f ps, %d timing constraints at beta=%.0f%%\n",
 		res.Design.Name, res.Design.Gates, res.Design.DFFs, res.Rows,
-		res.DcritPS, res.Constraints, *beta*100)
+		res.DcritPS, res.Constraints, beta*100)
 
 	t := report.New("", "allocator", "leakage(uW)", "overhead(uW)", "savings", "clusters", "vbs levels", "runtime")
 	add := func(label string, s *core.Solution, rt time.Duration) {
@@ -71,7 +121,7 @@ func main() {
 	add("heuristic", res.Heuristic, res.HeuristicTime)
 	if res.ILP != nil {
 		add("ILP("+res.ILPStatus+")", res.ILP, res.ILPTime)
-	} else if *runILP {
+	} else if runILP {
 		t.Add("ILP", "-", "-", "-", "-", "-", res.ILPTime.Round(time.Millisecond).String())
 	}
 	fmt.Print(t.String())
@@ -82,21 +132,13 @@ func main() {
 			len(res.Layout.VbsLevels), res.Layout.MaxUtilIncrease*100,
 			res.Layout.WellSepBoundaries, res.Layout.AreaOverheadPct)
 	}
-	if *ascii && res.Layout != nil {
+	if ascii && res.Layout != nil {
 		fmt.Println()
 		fmt.Print(layout.RenderASCII(res.Placement, res.Heuristic.Assign, res.Layout))
 	}
-	if *timing {
+	if timing {
 		fmt.Println()
 		fmt.Print(res.Timing.TextReport(5))
-	}
-	if *defOut != "" {
-		writeArtifact(*defOut, func(f *os.File) error { return res.Placement.WriteDEF(f) })
-	}
-	if *vOut != "" {
-		writeArtifact(*vOut, func(f *os.File) error {
-			return netlist.WriteVerilog(f, res.Placement.Design)
-		})
 	}
 }
 

@@ -5,10 +5,21 @@
 // The ILP is skipped on designs above -ilp-gates (the paper likewise reports
 // no ILP results for Industrial2/3, where lp_solve did not converge).
 //
+// Cells run on the flow engine: each benchmark's gen->place->STA prefix is
+// computed once and shared across all (beta, C) points, and -parallel bounds
+// how many cells run concurrently (0 = one per CPU, 1 = sequential). The
+// heuristic columns are identical at any parallelism; the ILP columns run
+// under a wall-clock budget, so concurrent cells contending for cores may
+// report different incumbents than -parallel 1 (use -parallel 1, or
+// -ilp-gates 1 to skip the ILP everywhere, for byte-reproducible output).
+// A failing
+// cell is reported on stderr and the completed rows still print; the exit
+// status is non-zero if any cell failed.
+//
 // Usage:
 //
 //	table1 [-benchmarks c1355,c3540] [-betas 0.05,0.10]
-//	       [-ilp-timeout 20s] [-ilp-gates 5000] [-csv]
+//	       [-ilp-timeout 20s] [-ilp-gates 5000] [-parallel 0] [-csv]
 package main
 
 import (
@@ -29,6 +40,7 @@ func main() {
 		betaList   = flag.String("betas", "0.05,0.10", "comma-separated slowdown coefficients")
 		ilpTimeout = flag.Duration("ilp-timeout", 20*time.Second, "ILP time budget per instance")
 		ilpGates   = flag.Int("ilp-gates", 5000, "skip the ILP above this gate count")
+		parallel   = flag.Int("parallel", 0, "concurrent table cells (0 = one per CPU, 1 = sequential)")
 		csv        = flag.Bool("csv", false, "emit CSV")
 	)
 	flag.Parse()
@@ -49,7 +61,7 @@ func main() {
 		opts.Betas = append(opts.Betas, v)
 	}
 
-	rows, err := repro.Table1(opts)
+	rows, err := repro.NewRunner(*parallel).Table1(opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "table1:", err)
 		os.Exit(1)
@@ -70,6 +82,9 @@ func main() {
 		return fmt.Sprintf("%.2f%%%s", v, mark)
 	}
 	for _, r := range rows {
+		if r.Err != "" {
+			continue // annotated on stderr below; the good rows still print
+		}
 		t.Add(
 			r.Benchmark,
 			fmt.Sprint(r.Gates),
@@ -83,10 +98,20 @@ func main() {
 			fmt.Sprint(r.Constraints),
 		)
 	}
+	failed := 0
+	for _, r := range rows {
+		if r.Err != "" {
+			failed++
+			fmt.Fprintf(os.Stderr, "table1: %s beta=%g%%: %s\n", r.Benchmark, r.BetaPct, r.Err)
+		}
+	}
 	if *csv {
 		fmt.Print(t.CSV())
-		return
+	} else {
+		fmt.Print(t.String())
+		fmt.Println("\n* incumbent at the time budget (optimality not proven); - not run (paper: did not converge)")
 	}
-	fmt.Print(t.String())
-	fmt.Println("\n* incumbent at the time budget (optimality not proven); - not run (paper: did not converge)")
+	if failed > 0 {
+		os.Exit(1) // partial rows printed above, but the run is not clean
+	}
 }

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -44,7 +45,7 @@ func main() {
 	fmt.Println("die slowdown distribution (before tuning):")
 	histogram(pl, nom, proc, model, *dies, *seed)
 
-	st, err := variation.YieldStudy(pl, proc, model, *dies, *seed,
+	st, err := variation.YieldStudy(context.Background(), pl, proc, model, *dies, *seed,
 		variation.TuneOptions{GuardbandPct: 0.005})
 	if err != nil {
 		log.Fatal(err)

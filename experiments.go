@@ -1,11 +1,13 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"repro/internal/bbgen"
 	"repro/internal/core"
+	"repro/internal/flow"
 	"repro/internal/layout"
 	"repro/internal/place"
 	"repro/internal/spice"
@@ -17,6 +19,46 @@ import (
 // This file holds the experiment drivers that regenerate every figure and
 // table of the paper. Each driver is used by both the benchmarks in
 // bench_test.go and the command-line tools.
+//
+// The drivers run on a Runner: a shared flow.Engine memoizes the
+// deterministic gen->place->STA prefix of every benchmark (computed once
+// and reused across all (beta, C) points), and independent experiment cells
+// fan out over a bounded worker pool with context cancellation and
+// deterministic, input-ordered results. The package-level functions keep
+// the original one-shot API on a private sequential Runner.
+
+// Runner executes the experiment drivers on a shared, cached flow engine.
+type Runner struct {
+	eng      *flow.Engine
+	parallel int
+	ctx      context.Context
+}
+
+// NewRunner returns a Runner whose drivers run at most parallel experiment
+// cells concurrently (0 = one per CPU, 1 = sequential). All drivers share
+// one prefix cache, so a Runner reused across calls keeps amortizing the
+// gen->place->STA work.
+func NewRunner(parallel int) *Runner {
+	return &Runner{eng: flow.New(), parallel: parallel}
+}
+
+// WithContext returns a shallow copy of the Runner (sharing its engine)
+// whose drivers abort when ctx is cancelled.
+func (r *Runner) WithContext(ctx context.Context) *Runner {
+	c := *r
+	c.ctx = ctx
+	return &c
+}
+
+// Engine exposes the Runner's prefix cache, e.g. to pass to RunOn.
+func (r *Runner) Engine() *flow.Engine { return r.eng }
+
+func (r *Runner) context() context.Context {
+	if r.ctx != nil {
+		return r.ctx
+	}
+	return context.Background()
+}
 
 // Figure1 reproduces the paper's Figure 1: the simulated inverter speed-up
 // and leakage increase across body bias voltages from 0 to Vdd.
@@ -54,13 +96,30 @@ type Table1Row struct {
 	ILPValidC2, ILPValidC3 bool
 	ILPProvenC2            bool
 	ILPProvenC3            bool
+	// ILPStatusC2/C3 report the branch-and-bound outcome ("" when the ILP
+	// was skipped) and ILPNodesC2/C3 the explored node counts.
+	ILPStatusC2, ILPStatusC3 string
+	ILPNodesC2, ILPNodesC3   int
 	// Heuristic savings at C=2 and C=3.
 	HeurSavC2, HeurSavC3 float64
 	Constraints          int
+	// Err annotates a failed cell (""  = success). A failing cell no
+	// longer discards the rest of the table: Table1 returns every row and
+	// marks the broken ones here.
+	Err string
 }
 
-// Table1 regenerates the paper's Table 1.
-func Table1(opts Table1Options) ([]Table1Row, error) {
+// Table1 regenerates the paper's Table 1 on r's worker pool. The result
+// always has one row per (benchmark, beta) in input order; rows whose cell
+// failed carry the error in Err instead of aborting the whole table. The
+// returned error is non-nil only when the run itself was cancelled.
+//
+// The heuristic columns are deterministic at any parallelism. The ILP runs
+// under a wall-clock budget, so when cells contend for cores its incumbent
+// (ILPSav/Proven/Nodes) can vary run-to-run and differ from a sequential
+// run; for byte-reproducible ILP columns use a sequential Runner or raise
+// ILPTimeLimit until every solve proves optimality.
+func (r *Runner) Table1(opts Table1Options) ([]Table1Row, error) {
 	if len(opts.Benchmarks) == 0 {
 		opts.Benchmarks = Benchmarks()
 	}
@@ -74,30 +133,48 @@ func Table1(opts Table1Options) ([]Table1Row, error) {
 		opts.ILPGateLimit = 5000
 	}
 
-	var rows []Table1Row
+	type cellKey struct {
+		name string
+		beta float64
+	}
+	var jobs []cellKey
 	for _, name := range opts.Benchmarks {
 		for _, beta := range opts.Betas {
-			row, err := table1Cell(name, beta, opts)
-			if err != nil {
-				return nil, fmt.Errorf("repro: table1 %s beta=%g: %w", name, beta, err)
-			}
-			rows = append(rows, row)
+			jobs = append(jobs, cellKey{name, beta})
+		}
+	}
+	rows, errs := flow.MapAll(r.context(), r.parallel, len(jobs),
+		func(_ context.Context, i int) (Table1Row, error) {
+			return table1Cell(r.eng, jobs[i].name, jobs[i].beta, opts), nil
+		})
+	for _, err := range errs {
+		if err != nil { // only cancellation: cell failures land in row.Err
+			return rows, err
 		}
 	}
 	return rows, nil
 }
 
-func table1Cell(name string, beta float64, opts Table1Options) (Table1Row, error) {
+// Table1 regenerates the paper's Table 1 sequentially; see Runner.Table1.
+func Table1(opts Table1Options) ([]Table1Row, error) {
+	return NewRunner(1).Table1(opts)
+}
+
+// table1Cell computes one (benchmark, beta) row on a shared engine. Errors
+// are annotated on the row rather than returned, so one broken cell cannot
+// sink the completed ones.
+func table1Cell(e *flow.Engine, name string, beta float64, opts Table1Options) Table1Row {
 	row := Table1Row{Benchmark: name, BetaPct: beta * 100}
 	for _, c := range []int{2, 3} {
-		res, err := Run(Config{
+		res, err := RunOn(e, Config{
 			Benchmark:   name,
 			Beta:        beta,
 			MaxClusters: c,
 			SkipLayout:  true,
 		})
 		if err != nil {
-			return row, err
+			row.Err = err.Error()
+			return row
 		}
 		row.Gates = res.Design.Gates
 		row.Rows = res.Rows
@@ -115,7 +192,8 @@ func table1Cell(name string, beta float64, opts Table1Options) (Table1Row, error
 				WarmStart: res.Heuristic,
 			})
 			if err != nil {
-				return row, err
+				row.Err = err.Error()
+				return row
 			}
 			if sol != nil {
 				sav := core.Savings(res.Single, sol)
@@ -127,10 +205,16 @@ func table1Cell(name string, beta float64, opts Table1Options) (Table1Row, error
 					row.ILPProvenC3 = sol.Proven
 				}
 			}
-			_ = ires
+			if ires != nil {
+				if c == 2 {
+					row.ILPStatusC2, row.ILPNodesC2 = ires.Status.String(), ires.Nodes
+				} else {
+					row.ILPStatusC3, row.ILPNodesC3 = ires.Status.String(), ires.Nodes
+				}
+			}
 		}
 	}
-	return row, nil
+	return row
 }
 
 // SweepPoint is one point of the cluster-count sweep (the paper's in-text
@@ -147,39 +231,47 @@ type SweepPoint struct {
 // ilpLimit is positive the sweep uses the exact allocator (warm-started by
 // the heuristic), matching the paper's optimizer-quality sweep; otherwise it
 // reports the heuristic, whose greedy split is noticeably weaker at C=2.
-func ClusterSweep(name string, beta float64, cFrom, cTo int, ilpLimit time.Duration) ([]SweepPoint, error) {
+// As with Table1, a wall-clock-limited ILP under parallel contention may
+// return different incumbents than a sequential run; the heuristic-only
+// sweep (ilpLimit 0) is deterministic at any parallelism.
+func (r *Runner) ClusterSweep(name string, beta float64, cFrom, cTo int, ilpLimit time.Duration) ([]SweepPoint, error) {
 	if cFrom < 1 || cTo < cFrom {
 		return nil, fmt.Errorf("repro: bad sweep range [%d, %d]", cFrom, cTo)
 	}
-	var pts []SweepPoint
-	for c := cFrom; c <= cTo; c++ {
-		res, err := Run(Config{
-			Benchmark:    name,
-			Beta:         beta,
-			MaxClusters:  c,
-			MaxBiasPairs: c,
-			SkipLayout:   true,
-		})
-		if err != nil {
-			return nil, err
-		}
-		best := res.Heuristic
-		if ilpLimit > 0 {
-			sol, _, err := res.Problem.SolveILP(core.ILPOptions{
-				TimeLimit: ilpLimit,
-				WarmStart: res.Heuristic,
+	return flow.Map(r.context(), r.parallel, cTo-cFrom+1,
+		func(_ context.Context, i int) (SweepPoint, error) {
+			c := cFrom + i
+			res, err := RunOn(r.eng, Config{
+				Benchmark:    name,
+				Beta:         beta,
+				MaxClusters:  c,
+				MaxBiasPairs: c,
+				SkipLayout:   true,
 			})
-			if err == nil && sol != nil {
-				best = sol
+			if err != nil {
+				return SweepPoint{}, err
 			}
-		}
-		pts = append(pts, SweepPoint{
-			C:            c,
-			SavingsPct:   core.Savings(res.Single, best),
-			ClustersUsed: best.Clusters,
+			best := res.Heuristic
+			if ilpLimit > 0 {
+				sol, _, err := res.Problem.SolveILP(core.ILPOptions{
+					TimeLimit: ilpLimit,
+					WarmStart: res.Heuristic,
+				})
+				if err == nil && sol != nil {
+					best = sol
+				}
+			}
+			return SweepPoint{
+				C:            c,
+				SavingsPct:   core.Savings(res.Single, best),
+				ClustersUsed: best.Clusters,
+			}, nil
 		})
-	}
-	return pts, nil
+}
+
+// ClusterSweep sweeps the cluster cap sequentially; see Runner.ClusterSweep.
+func ClusterSweep(name string, beta float64, cFrom, cTo int, ilpLimit time.Duration) ([]SweepPoint, error) {
+	return NewRunner(1).ClusterSweep(name, beta, cFrom, cTo, ilpLimit)
 }
 
 // RuntimeRow compares allocator runtimes on one design (the paper reports
@@ -194,33 +286,41 @@ type RuntimeRow struct {
 	ILPStatus     string
 }
 
-// RuntimeComparison measures both allocators.
-func RuntimeComparison(names []string, beta float64, ilpLimit time.Duration) ([]RuntimeRow, error) {
-	var rows []RuntimeRow
-	for _, name := range names {
-		res, err := Run(Config{
-			Benchmark:    name,
-			Beta:         beta,
-			RunILP:       true,
-			ILPTimeLimit: ilpLimit,
-			SkipLayout:   true,
+// RuntimeComparison measures both allocators. The allocator wall-clock
+// times are the measurement, so the cells always run one at a time
+// regardless of the Runner's parallelism (CPU contention would inflate
+// them); the pool still provides cancellation and the engine still shares
+// the prefixes with the other drivers.
+func (r *Runner) RuntimeComparison(names []string, beta float64, ilpLimit time.Duration) ([]RuntimeRow, error) {
+	return flow.Map(r.context(), 1, len(names),
+		func(_ context.Context, i int) (RuntimeRow, error) {
+			res, err := RunOn(r.eng, Config{
+				Benchmark:    names[i],
+				Beta:         beta,
+				RunILP:       true,
+				ILPTimeLimit: ilpLimit,
+				SkipLayout:   true,
+			})
+			if err != nil {
+				return RuntimeRow{}, err
+			}
+			row := RuntimeRow{
+				Benchmark:     names[i],
+				Constraints:   res.Constraints,
+				HeuristicTime: res.HeuristicTime,
+				ILPTime:       res.ILPTime,
+				ILPStatus:     res.ILPStatus,
+			}
+			if res.HeuristicTime > 0 {
+				row.SpeedupX = float64(res.ILPTime) / float64(res.HeuristicTime)
+			}
+			return row, nil
 		})
-		if err != nil {
-			return nil, err
-		}
-		r := RuntimeRow{
-			Benchmark:     name,
-			Constraints:   res.Constraints,
-			HeuristicTime: res.HeuristicTime,
-			ILPTime:       res.ILPTime,
-			ILPStatus:     res.ILPStatus,
-		}
-		if res.HeuristicTime > 0 {
-			r.SpeedupX = float64(res.ILPTime) / float64(res.HeuristicTime)
-		}
-		rows = append(rows, r)
-	}
-	return rows, nil
+}
+
+// RuntimeComparison measures both allocators; see Runner.RuntimeComparison.
+func RuntimeComparison(names []string, beta float64, ilpLimit time.Duration) ([]RuntimeRow, error) {
+	return NewRunner(1).RuntimeComparison(names, beta, ilpLimit)
 }
 
 // LayoutStudy bundles the physical-implementation artifacts of Figures 3
@@ -263,38 +363,44 @@ type MultiBlockResult struct {
 	GenAreaPct     float64
 }
 
-// MultiBlock tunes each named block for its own slowdown and routes the
-// union of bias demands through a central generator.
-func MultiBlock(names []string, betas []float64) (*MultiBlockResult, error) {
+// MultiBlock tunes each named block for its own slowdown on r's worker
+// pool and routes the union of bias demands through a central generator.
+func (r *Runner) MultiBlock(names []string, betas []float64) (*MultiBlockResult, error) {
 	if len(names) != len(betas) {
 		return nil, fmt.Errorf("repro: %d blocks but %d betas", len(names), len(betas))
 	}
-	g := bbgen.New(tech.Default45nm())
-	out := &MultiBlockResult{GenAreaPct: g.AreaOverheadPct}
-	var reqs []bbgen.BlockRequest
-	for i, name := range names {
-		res, err := Run(Config{Benchmark: name, Beta: betas[i], SkipLayout: true})
-		if err != nil {
-			return nil, err
-		}
-		var levels []int
-		seen := map[int]struct{}{}
-		for _, j := range res.Heuristic.Assign {
-			if j == 0 {
-				continue
+	blocks, err := flow.Map(r.context(), r.parallel, len(names),
+		func(_ context.Context, i int) (BlockTuning, error) {
+			res, err := RunOn(r.eng, Config{Benchmark: names[i], Beta: betas[i], SkipLayout: true})
+			if err != nil {
+				return BlockTuning{}, err
 			}
-			if _, ok := seen[j]; !ok {
-				seen[j] = struct{}{}
-				levels = append(levels, j)
+			var levels []int
+			seen := map[int]struct{}{}
+			for _, j := range res.Heuristic.Assign {
+				if j == 0 {
+					continue
+				}
+				if _, ok := seen[j]; !ok {
+					seen[j] = struct{}{}
+					levels = append(levels, j)
+				}
 			}
-		}
-		out.Blocks = append(out.Blocks, BlockTuning{
-			Name:       name,
-			BetaPct:    betas[i] * 100,
-			Levels:     levels,
-			SavingsPct: core.Savings(res.Single, res.Heuristic),
+			return BlockTuning{
+				Name:       names[i],
+				BetaPct:    betas[i] * 100,
+				Levels:     levels,
+				SavingsPct: core.Savings(res.Single, res.Heuristic),
+			}, nil
 		})
-		reqs = append(reqs, bbgen.BlockRequest{Name: name, Levels: levels, Alarm: true})
+	if err != nil {
+		return nil, err
+	}
+	g := bbgen.New(tech.Default45nm())
+	out := &MultiBlockResult{Blocks: blocks, GenAreaPct: g.AreaOverheadPct}
+	reqs := make([]bbgen.BlockRequest, len(blocks))
+	for i, b := range blocks {
+		reqs[i] = bbgen.BlockRequest{Name: b.Name, Levels: b.Levels, Alarm: true}
 	}
 	plan, err := g.Distribute(reqs)
 	if err != nil {
@@ -305,19 +411,27 @@ func MultiBlock(names []string, betas []float64) (*MultiBlockResult, error) {
 	return out, nil
 }
 
-// Yield runs the Monte-Carlo post-silicon tuning study on a benchmark.
+// MultiBlock tunes the named blocks sequentially; see Runner.MultiBlock.
+func MultiBlock(names []string, betas []float64) (*MultiBlockResult, error) {
+	return NewRunner(1).MultiBlock(names, betas)
+}
+
+// Yield runs the Monte-Carlo post-silicon tuning study on a benchmark,
+// tuning dies concurrently on r's worker pool over the cached placement.
+func (r *Runner) Yield(name string, dies int, seed int64) (*variation.YieldStats, error) {
+	pfx, err := r.eng.Prefix(name, 0)
+	if err != nil {
+		return nil, err
+	}
+	return variation.YieldStudy(r.context(), pfx.Placement, tech.Default45nm(),
+		variation.Default(), dies, seed,
+		variation.TuneOptions{GuardbandPct: 0.005, Workers: r.parallel})
+}
+
+// Yield runs the Monte-Carlo post-silicon tuning study with one tuning
+// worker per CPU (its historic concurrency); see Runner.Yield.
 func Yield(name string, dies int, seed int64) (*variation.YieldStats, error) {
-	lib := Library()
-	d, err := buildBench(name, lib)
-	if err != nil {
-		return nil, err
-	}
-	pl, err := place.Place(d, lib, place.Options{})
-	if err != nil {
-		return nil, err
-	}
-	return variation.YieldStudy(pl, tech.Default45nm(), variation.Default(), dies, seed,
-		variation.TuneOptions{GuardbandPct: 0.005})
+	return NewRunner(0).Yield(name, dies, seed)
 }
 
 // ResolutionPoint is one row of the generator-resolution ablation.
@@ -352,18 +466,13 @@ func ResolutionAblation(betaMax float64) ([]ResolutionPoint, error) {
 
 // NominalTiming exposes STA on a named benchmark for examples.
 func NominalTiming(name string) (*place.Placement, *sta.Timing, error) {
-	lib := Library()
-	d, err := buildBench(name, lib)
+	d, err := buildBench(name, Library())
 	if err != nil {
 		return nil, nil, err
 	}
-	pl, err := place.Place(d, lib, place.Options{})
+	pfx, err := flow.PrefixFor(d, Library(), 0)
 	if err != nil {
 		return nil, nil, err
 	}
-	tm, err := sta.Analyze(pl, sta.Options{})
-	if err != nil {
-		return nil, nil, err
-	}
-	return pl, tm, nil
+	return pfx.Placement, pfx.Timing, nil
 }

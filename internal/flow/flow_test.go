@@ -1,0 +1,189 @@
+package flow
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestCacheComputesOnce(t *testing.T) {
+	var c Cache[*int]
+	var calls atomic.Int32
+	var wg sync.WaitGroup
+	ptrs := make([]*int, 64)
+	for g := range ptrs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := c.Do("k", func() (*int, error) {
+				calls.Add(1)
+				n := 42
+				return &n, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			ptrs[g] = v
+		}()
+	}
+	wg.Wait()
+	if calls.Load() != 1 {
+		t.Fatalf("compute ran %d times, want 1", calls.Load())
+	}
+	for _, p := range ptrs {
+		if p != ptrs[0] {
+			t.Fatal("callers got different cached pointers")
+		}
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len() = %d, want 1", c.Len())
+	}
+}
+
+func TestCacheRetainsError(t *testing.T) {
+	var c Cache[int]
+	var calls int
+	fail := errors.New("boom")
+	for i := 0; i < 3; i++ {
+		_, err := c.Do("bad", func() (int, error) { calls++; return 0, fail })
+		if err != fail {
+			t.Fatalf("got %v, want cached error", err)
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("failing compute ran %d times, want 1", calls)
+	}
+}
+
+func TestOnceRunsWinnerOnly(t *testing.T) {
+	var o Once
+	var calls atomic.Int32
+	var wg sync.WaitGroup
+	for g := 0; g < 32; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			o.Do("print", func() { calls.Add(1) })
+			if calls.Load() == 0 {
+				t.Error("Do returned before the winner finished")
+			}
+		}()
+	}
+	wg.Wait()
+	if calls.Load() != 1 {
+		t.Fatalf("f ran %d times, want 1", calls.Load())
+	}
+}
+
+func TestMapOrdering(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 64} {
+		out, err := Map(context.Background(), workers, 100,
+			func(_ context.Context, i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapReturnsLowestIndexError(t *testing.T) {
+	bad := func(i int) error { return fmt.Errorf("item %d failed", i) }
+	_, err := Map(context.Background(), 8, 50, func(_ context.Context, i int) (int, error) {
+		if i == 17 || i == 33 {
+			return 0, bad(i)
+		}
+		return i, nil
+	})
+	if err == nil || err.Error() != "item 17 failed" {
+		t.Fatalf("got %v, want the lowest-index failure", err)
+	}
+}
+
+func TestMapCancelStopsWork(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int32
+	_, err := Map(ctx, 2, 1000, func(_ context.Context, i int) (int, error) {
+		if started.Add(1) == 1 {
+			cancel()
+		}
+		return i, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if n := started.Load(); n == 1000 {
+		t.Error("cancellation did not stop pending items")
+	}
+}
+
+func TestMapAllKeepsPartialResults(t *testing.T) {
+	fail := errors.New("odd")
+	out, errs := MapAll(context.Background(), 4, 10, func(_ context.Context, i int) (int, error) {
+		if i%2 == 1 {
+			return 0, fail
+		}
+		return i * 10, nil
+	})
+	for i := 0; i < 10; i++ {
+		if i%2 == 1 {
+			if errs[i] != fail {
+				t.Fatalf("errs[%d] = %v, want failure", i, errs[i])
+			}
+		} else if errs[i] != nil || out[i] != i*10 {
+			t.Fatalf("item %d: out=%d errs=%v", i, out[i], errs[i])
+		}
+	}
+}
+
+// TestEnginePrefixSharedUnderRace hammers one engine from many goroutines:
+// the prefix must be computed once and every caller must observe the same
+// immutable instance. Run with -race (the CI race job does).
+func TestEnginePrefixSharedUnderRace(t *testing.T) {
+	e := New()
+	var wg sync.WaitGroup
+	prefixes := make([]*Prefix, 16)
+	for g := range prefixes {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p, err := e.Prefix("c1355", 0)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			// Touch shared state the allocators read concurrently.
+			if p.Placement.NumRows == 0 || p.Timing.DcritPS <= 0 || len(p.Design.Gates) == 0 {
+				t.Error("incomplete prefix")
+			}
+			prefixes[g] = p
+		}()
+	}
+	wg.Wait()
+	for _, p := range prefixes {
+		if p != prefixes[0] {
+			t.Fatal("concurrent callers got different prefix instances")
+		}
+	}
+	if e.PrefixCount() != 1 {
+		t.Fatalf("PrefixCount() = %d, want 1", e.PrefixCount())
+	}
+	// A different forceRows is a different prefix but shares the stage-1
+	// design cache.
+	p2, err := e.Prefix("c1355", prefixes[0].Placement.NumRows+4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2 == prefixes[0] {
+		t.Fatal("forceRows variant returned the cached automatic-rows prefix")
+	}
+	if p2.Design != prefixes[0].Design {
+		t.Fatal("forceRows variant regenerated the design instead of sharing stage 1")
+	}
+}

@@ -1,0 +1,102 @@
+package flow
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+)
+
+// forEach dispatches indices [0, n) to at most `workers` goroutines and
+// waits for all dispatched work to finish. workers <= 0 means one per CPU.
+func forEach(workers, n int, do func(i int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			do(i)
+		}
+		return
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				do(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+}
+
+// MapAll runs fn(ctx, i) for every index in [0, n) on a pool of at most
+// `workers` goroutines (<= 0 means one per CPU) and returns the results in
+// index order together with a parallel error slice: errs[i] is fn's error
+// for item i, so callers can keep partial results. Item failures do not
+// stop the other items; only cancelling ctx does, in which case items that
+// had not started report ctx's error.
+func MapAll[T any](ctx context.Context, workers, n int, fn func(ctx context.Context, i int) (T, error)) (out []T, errs []error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	out = make([]T, n)
+	errs = make([]error, n)
+	forEach(workers, n, func(i int) {
+		if err := ctx.Err(); err != nil {
+			errs[i] = err
+			return
+		}
+		out[i], errs[i] = fn(ctx, i)
+	})
+	return out, errs
+}
+
+// Map runs fn(ctx, i) for every index in [0, n) on a pool of at most
+// `workers` goroutines (<= 0 means one per CPU), returning the results in
+// index order. The first failure cancels the context passed to in-flight
+// and pending items and is returned; results are discarded on error.
+func Map[T any](ctx context.Context, workers, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	mctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		causeOnce sync.Once
+		cause     error
+	)
+	out, errs := MapAll(mctx, workers, n, func(ctx context.Context, i int) (T, error) {
+		v, err := fn(ctx, i)
+		if err != nil {
+			causeOnce.Do(func() { cause = err })
+			cancel()
+		}
+		return v, err
+	})
+	// Prefer the lowest-index real error so sequential and parallel runs
+	// report the same failure; fall back to the chronological cause (set
+	// before any cancellation-induced errors) and then to ctx's error.
+	for _, err := range errs {
+		if err != nil && !errors.Is(err, context.Canceled) {
+			return nil, err
+		}
+	}
+	if cause != nil {
+		return nil, cause
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,12 +1,12 @@
 package variation
 
 import (
+	"context"
 	"errors"
 	"fmt"
-	"runtime"
-	"sync"
 
 	"repro/internal/core"
+	"repro/internal/flow"
 	"repro/internal/place"
 	"repro/internal/sta"
 	"repro/internal/tech"
@@ -28,6 +28,10 @@ type TuneOptions struct {
 	// SlackTolPct accepts dies within this fraction above nominal Dcrit
 	// (default 0.001).
 	SlackTolPct float64
+	// Workers bounds concurrent die tunings in YieldStudy (0 = one per
+	// CPU, 1 = sequential). Per-die seeds keep the statistics independent
+	// of the worker count.
+	Workers int
 }
 
 func (o *TuneOptions) setDefaults() {
@@ -163,9 +167,10 @@ func (y *YieldStats) YieldPct() (before, after float64) {
 // YieldStudy samples nDies from the model, tunes each, and aggregates the
 // yield and leakage statistics — the system-level experiment motivating the
 // paper ("bring the slow dies back to within the range of acceptable
-// specs"). Dies are tuned concurrently (one worker per CPU); the per-die
-// seeds make the result independent of scheduling.
-func YieldStudy(pl *place.Placement, proc *tech.Process, m Model, nDies int, seed int64, opts TuneOptions) (*YieldStats, error) {
+// specs"). Dies are tuned concurrently on a flow worker pool (opts.Workers
+// bounds it; default one per CPU) and cancelling ctx aborts the study; the
+// per-die seeds make the result independent of scheduling.
+func YieldStudy(ctx context.Context, pl *place.Placement, proc *tech.Process, m Model, nDies int, seed int64, opts TuneOptions) (*YieldStats, error) {
 	if nDies <= 0 {
 		return nil, errors.New("variation: nDies must be positive")
 	}
@@ -176,36 +181,18 @@ func YieldStudy(pl *place.Placement, proc *tech.Process, m Model, nDies int, see
 	opts.setDefaults()
 	limit := nom.DcritPS * (1 + opts.SlackTolPct)
 
-	results := make([]*TuneResult, nDies)
-	errs := make([]error, nDies)
-	workers := runtime.GOMAXPROCS(0)
-	if workers > nDies {
-		workers = nDies
+	results, err := flow.Map(ctx, opts.Workers, nDies,
+		func(_ context.Context, i int) (*TuneResult, error) {
+			die := m.Sample(pl, proc, seed+int64(i)*7919)
+			return Tune(pl, nom, die, proc, opts)
+		})
+	if err != nil {
+		return nil, err
 	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				die := m.Sample(pl, proc, seed+int64(i)*7919)
-				results[i], errs[i] = Tune(pl, nom, die, proc, opts)
-			}
-		}()
-	}
-	for i := 0; i < nDies; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
 
 	st := &YieldStats{Dies: nDies}
 	sumIters, sumClusters := 0, 0
-	for i, r := range results {
-		if errs[i] != nil {
-			return nil, errs[i]
-		}
+	for _, r := range results {
 		st.MeanBetaPct += r.BetaActual * 100
 		if r.BetaActual*100 > st.WorstBetaPct {
 			st.WorstBetaPct = r.BetaActual * 100

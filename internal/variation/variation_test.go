@@ -1,6 +1,7 @@
 package variation
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -248,7 +249,7 @@ func TestTuneFastDieDoesNothing(t *testing.T) {
 func TestYieldStudyImprovesYield(t *testing.T) {
 	pl := placed(t, "c1355")
 	proc := tech.Default45nm()
-	st, err := YieldStudy(pl, proc, Default(), 60, 1000, TuneOptions{GuardbandPct: 0.005})
+	st, err := YieldStudy(context.Background(), pl, proc, Default(), 60, 1000, TuneOptions{GuardbandPct: 0.005})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/cell"
 	"repro/internal/core"
+	"repro/internal/flow"
 	"repro/internal/gen"
 	"repro/internal/layout"
 	"repro/internal/netlist"
@@ -96,33 +97,63 @@ func buildBench(name string, lib *cell.Library) (*netlist.Design, error) {
 // Library returns the shared characterized 45nm cell library.
 func Library() *cell.Library { return cell.Default() }
 
-// Run executes the full flow.
-func Run(cfg Config) (*Result, error) {
-	lib := cell.Default()
-	d := cfg.Design
-	if d == nil {
-		if cfg.Benchmark == "" {
-			return nil, errors.New("repro: no benchmark or design given")
-		}
-		var err error
-		d, err = gen.Build(cfg.Benchmark, lib)
-		if err != nil {
-			return nil, err
-		}
-	}
+// Run executes the full flow, computing every stage from scratch. Callers
+// running many related points (experiment grids, sweeps) should share a
+// flow.Engine via RunOn so the deterministic prefix is computed once.
+func Run(cfg Config) (*Result, error) { return RunOn(nil, cfg) }
+
+// RunOn executes the flow as composable stages: the deterministic prefix
+// (generation, placement, nominal STA) is served from e's concurrency-safe
+// cache and shared across every (Beta, MaxClusters) point on the same
+// benchmark; problem construction, allocation and the layout check then run
+// per call. A nil engine computes the prefix from scratch, matching Run.
+// Custom designs (cfg.Design) have no cache key and always compute their
+// own prefix. RunOn is safe for concurrent use with a shared engine.
+func RunOn(e *flow.Engine, cfg Config) (*Result, error) {
 	if cfg.Beta == 0 {
 		cfg.Beta = 0.05
 	}
+	pfx, err := stagePrefix(e, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res, err := stageProblem(pfx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := stageAllocate(res, cfg); err != nil {
+		return nil, err
+	}
+	if err := stageLayout(res, cfg); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
 
-	pl, err := place.Place(d, lib, place.Options{ForceRows: cfg.ForceRows})
+// stagePrefix resolves stages 1-3 (generate, place, STA), cached on the
+// engine for named benchmarks.
+func stagePrefix(e *flow.Engine, cfg Config) (*flow.Prefix, error) {
+	lib := cell.Default()
+	if cfg.Design != nil {
+		return flow.PrefixFor(cfg.Design, lib, cfg.ForceRows)
+	}
+	if cfg.Benchmark == "" {
+		return nil, errors.New("repro: no benchmark or design given")
+	}
+	if e != nil {
+		return e.Prefix(cfg.Benchmark, cfg.ForceRows)
+	}
+	d, err := gen.Build(cfg.Benchmark, lib)
 	if err != nil {
 		return nil, err
 	}
-	tm, err := sta.Analyze(pl, sta.Options{})
-	if err != nil {
-		return nil, err
-	}
-	prob, err := core.BuildProblem(pl, tm, core.Options{
+	return flow.PrefixFor(d, lib, cfg.ForceRows)
+}
+
+// stageProblem builds the clustering instance for one (Beta, MaxClusters)
+// point on a shared prefix and seeds the Result.
+func stageProblem(pfx *flow.Prefix, cfg Config) (*Result, error) {
+	prob, err := core.BuildProblem(pfx.Placement, pfx.Timing, core.Options{
 		Beta:         cfg.Beta,
 		MaxClusters:  cfg.MaxClusters,
 		MaxBiasPairs: cfg.MaxBiasPairs,
@@ -130,25 +161,29 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-
-	res := &Result{
-		Design:      d.Stats(),
-		Rows:        pl.NumRows,
-		DcritPS:     tm.DcritPS,
+	return &Result{
+		Design:      pfx.Design.Stats(),
+		Rows:        pfx.Placement.NumRows,
+		DcritPS:     pfx.Timing.DcritPS,
 		Constraints: prob.NumConstraints(),
 		Problem:     prob,
-		Placement:   pl,
-		Timing:      tm,
-	}
+		Placement:   pfx.Placement,
+		Timing:      pfx.Timing,
+	}, nil
+}
 
-	res.Single, err = prob.SingleBB()
+// stageAllocate runs the allocators: the single-voltage baseline, the
+// two-pass heuristic, and (when requested) the exact ILP.
+func stageAllocate(res *Result, cfg Config) error {
+	var err error
+	res.Single, err = res.Problem.SingleBB()
 	if err != nil {
-		return nil, fmt.Errorf("repro: %s: %w", d.Name, err)
+		return fmt.Errorf("repro: %s: %w", res.Design.Name, err)
 	}
 	start := time.Now()
-	res.Heuristic, err = prob.SolveHeuristic()
+	res.Heuristic, err = res.Problem.SolveHeuristic()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	res.HeuristicTime = time.Since(start)
 
@@ -158,13 +193,13 @@ func Run(cfg Config) (*Result, error) {
 			limit = 30 * time.Second
 		}
 		start = time.Now()
-		sol, ires, err := prob.SolveILP(core.ILPOptions{
+		sol, ires, err := res.Problem.SolveILP(core.ILPOptions{
 			TimeLimit: limit,
 			WarmStart: res.Heuristic,
 		})
 		res.ILPTime = time.Since(start)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		res.ILP = sol
 		if ires != nil {
@@ -172,14 +207,17 @@ func Run(cfg Config) (*Result, error) {
 			res.ILPNodes = ires.Nodes
 		}
 	}
+	return nil
+}
 
-	if !cfg.SkipLayout {
-		res.Layout, err = layout.Apply(pl, res.Heuristic.Assign, layout.Options{})
-		if err != nil {
-			return nil, err
-		}
+// stageLayout runs the implementation check on the heuristic allocation.
+func stageLayout(res *Result, cfg Config) error {
+	if cfg.SkipLayout {
+		return nil
 	}
-	return res, nil
+	var err error
+	res.Layout, err = layout.Apply(res.Placement, res.Heuristic.Assign, layout.Options{})
+	return err
 }
 
 // SavingsPct returns the heuristic and ILP savings versus the single-voltage
