@@ -8,8 +8,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro"
@@ -17,16 +19,29 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "charlib:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("charlib", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		step = flag.Float64("step", 0.05, "sweep step in volts")
-		csv  = flag.Bool("csv", false, "emit CSV instead of a table")
+		step = fs.Float64("step", 0.05, "sweep step in volts")
+		csv  = fs.Bool("csv", false, "emit CSV instead of a table")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h/-help: usage already printed, a clean exit
+		}
+		return err
+	}
 
 	pts, err := repro.Figure1(*step)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "charlib:", err)
-		os.Exit(1)
+		return err
 	}
 
 	t := report.New(
@@ -41,10 +56,11 @@ func main() {
 		)
 	}
 	if *csv {
-		fmt.Print(t.CSV())
-		return
+		fmt.Fprint(stdout, t.CSV())
+		return nil
 	}
-	fmt.Print(t.String())
-	fmt.Println("\nnote: beyond 0.5V the forward source-body junction dominates leakage,")
-	fmt.Println("which is why the allocation grid stops there (11 levels at 50mV).")
+	fmt.Fprint(stdout, t.String())
+	fmt.Fprintln(stdout, "\nnote: beyond 0.5V the forward source-body junction dominates leakage,")
+	fmt.Fprintln(stdout, "which is why the allocation grid stops there (11 levels at 50mV).")
+	return nil
 }

@@ -1,0 +1,29 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCharlibTable(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run(nil, &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "Figure 1") || !strings.Contains(s, "0.50") {
+		t.Errorf("sweep table incomplete:\n%s", s)
+	}
+}
+
+func TestCharlibCSV(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-step", "0.1", "-csv"}, &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(strings.TrimSpace(out.String()), "\n")
+	if lines < 5 {
+		t.Errorf("CSV sweep too short:\n%s", out.String())
+	}
+}

@@ -15,8 +15,10 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -30,27 +32,40 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "fbbflow:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("fbbflow", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		bench      = flag.String("bench", "c5315", "comma-separated benchmark names, or \"all\" ("+strings.Join(repro.Benchmarks(), ", ")+")")
-		beta       = flag.Float64("beta", 0.05, "slowdown coefficient to compensate")
-		c          = flag.Int("c", 3, "maximum clusters (incl. no-body-bias)")
-		runILP     = flag.Bool("ilp", false, "also run the exact ILP allocator")
-		ilpTimeout = flag.Duration("ilp-timeout", 30*time.Second, "ILP time budget")
-		parallel   = flag.Int("parallel", 0, "concurrent benchmark flows (0 = one per CPU, 1 = sequential)")
-		ascii      = flag.Bool("ascii", false, "print the clustered layout (Figure 3 style)")
-		timing     = flag.Bool("timing", false, "print a timing report (slack histogram, worst paths)")
-		defOut     = flag.String("def", "", "write the placement to this DEF file (single benchmark only)")
-		vOut       = flag.String("verilog", "", "write the mapped netlist to this Verilog file (single benchmark only)")
+		bench      = fs.String("bench", "c5315", "comma-separated benchmark names, or \"all\" ("+strings.Join(repro.Benchmarks(), ", ")+")")
+		beta       = fs.Float64("beta", 0.05, "slowdown coefficient to compensate")
+		c          = fs.Int("c", 3, "maximum clusters (incl. no-body-bias)")
+		runILP     = fs.Bool("ilp", false, "also run the exact ILP allocator")
+		ilpTimeout = fs.Duration("ilp-timeout", 30*time.Second, "ILP time budget")
+		parallel   = fs.Int("parallel", 0, "concurrent benchmark flows (0 = one per CPU, 1 = sequential)")
+		ascii      = fs.Bool("ascii", false, "print the clustered layout (Figure 3 style)")
+		timing     = fs.Bool("timing", false, "print a timing report (slack histogram, worst paths)")
+		defOut     = fs.String("def", "", "write the placement to this DEF file (single benchmark only)")
+		vOut       = fs.String("verilog", "", "write the mapped netlist to this Verilog file (single benchmark only)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h/-help: usage already printed, a clean exit
+		}
+		return err
+	}
 
 	benches := strings.Split(*bench, ",")
 	if *bench == "all" {
 		benches = repro.Benchmarks()
 	}
 	if len(benches) > 1 && (*defOut != "" || *vOut != "") {
-		fmt.Fprintln(os.Stderr, "fbbflow: -def/-verilog need a single -bench")
-		os.Exit(1)
+		return fmt.Errorf("-def/-verilog need a single -bench")
 	}
 
 	runner := repro.NewRunner(*parallel)
@@ -66,38 +81,43 @@ func main() {
 		})
 
 	// One broken benchmark must not discard the completed reports: print
-	// every result in input order, annotate the failures, and exit
-	// non-zero if anything failed.
+	// every result in input order, annotate the failures, and fail the
+	// run if anything failed.
 	failed := 0
 	for i, res := range results {
 		if i > 0 {
-			fmt.Println()
+			fmt.Fprintln(stdout)
 		}
 		if errs[i] != nil {
 			failed++
-			fmt.Fprintf(os.Stderr, "fbbflow: %s: %v\n", strings.TrimSpace(benches[i]), errs[i])
+			fmt.Fprintf(stderr, "fbbflow: %s: %v\n", strings.TrimSpace(benches[i]), errs[i])
 			continue
 		}
-		printResult(res, *beta, *runILP, *ascii, *timing)
+		printResult(stdout, res, *beta, *runILP, *ascii, *timing)
 	}
 
 	if res := results[0]; errs[0] == nil {
 		if *defOut != "" {
-			writeArtifact(*defOut, func(f *os.File) error { return res.Placement.WriteDEF(f) })
+			if err := writeArtifact(stdout, *defOut, func(f *os.File) error { return res.Placement.WriteDEF(f) }); err != nil {
+				return err
+			}
 		}
 		if *vOut != "" {
-			writeArtifact(*vOut, func(f *os.File) error {
+			if err := writeArtifact(stdout, *vOut, func(f *os.File) error {
 				return netlist.WriteVerilog(f, res.Placement.Design)
-			})
+			}); err != nil {
+				return err
+			}
 		}
 	}
 	if failed > 0 {
-		os.Exit(1)
+		return fmt.Errorf("%d benchmark(s) failed", failed)
 	}
+	return nil
 }
 
-func printResult(res *repro.Result, beta float64, runILP, ascii, timing bool) {
-	fmt.Printf("%s: %d gates (%d FF), %d rows, Dcrit %.0f ps, %d timing constraints at beta=%.0f%%\n",
+func printResult(w io.Writer, res *repro.Result, beta float64, runILP, ascii, timing bool) {
+	fmt.Fprintf(w, "%s: %d gates (%d FF), %d rows, Dcrit %.0f ps, %d timing constraints at beta=%.0f%%\n",
 		res.Design.Name, res.Design.Gates, res.Design.DFFs, res.Rows,
 		res.DcritPS, res.Constraints, beta*100)
 
@@ -124,34 +144,33 @@ func printResult(res *repro.Result, beta float64, runILP, ascii, timing bool) {
 	} else if runILP {
 		t.Add("ILP", "-", "-", "-", "-", "-", res.ILPTime.Round(time.Millisecond).String())
 	}
-	fmt.Print(t.String())
+	fmt.Fprint(w, t.String())
 
 	if res.Layout != nil {
-		fmt.Printf("layout: %d bias pair(s), max row-util increase %.1f%%, "+
+		fmt.Fprintf(w, "layout: %d bias pair(s), max row-util increase %.1f%%, "+
 			"%d well boundaries, area overhead %.2f%%\n",
 			len(res.Layout.VbsLevels), res.Layout.MaxUtilIncrease*100,
 			res.Layout.WellSepBoundaries, res.Layout.AreaOverheadPct)
 	}
 	if ascii && res.Layout != nil {
-		fmt.Println()
-		fmt.Print(layout.RenderASCII(res.Placement, res.Heuristic.Assign, res.Layout))
+		fmt.Fprintln(w)
+		fmt.Fprint(w, layout.RenderASCII(res.Placement, res.Heuristic.Assign, res.Layout))
 	}
 	if timing {
-		fmt.Println()
-		fmt.Print(res.Timing.TextReport(5))
+		fmt.Fprintln(w)
+		fmt.Fprint(w, res.Timing.TextReport(5))
 	}
 }
 
-func writeArtifact(path string, write func(*os.File) error) {
+func writeArtifact(w io.Writer, path string, write func(*os.File) error) error {
 	f, err := os.Create(path)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "fbbflow:", err)
-		os.Exit(1)
+		return err
 	}
 	defer f.Close()
 	if err := write(f); err != nil {
-		fmt.Fprintln(os.Stderr, "fbbflow:", err)
-		os.Exit(1)
+		return err
 	}
-	fmt.Println("wrote", path)
+	fmt.Fprintln(w, "wrote", path)
+	return nil
 }

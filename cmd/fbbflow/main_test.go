@@ -1,0 +1,58 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestFBBFlowSingleBench(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-bench", "c1355", "-parallel", "1", "-timing"}, &out, &errb); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errb.String())
+	}
+	s := out.String()
+	for _, want := range []string{"c1355:", "single-BB", "heuristic", "layout:", "timing report"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestFBBFlowWritesArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	def := filepath.Join(dir, "out.def")
+	v := filepath.Join(dir, "out.v")
+	var out, errb bytes.Buffer
+	if err := run([]string{"-bench", "c1355", "-parallel", "1", "-def", def, "-verilog", v}, &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{def, v} {
+		if st, err := os.Stat(p); err != nil || st.Size() == 0 {
+			t.Errorf("artifact %s missing or empty (%v)", p, err)
+		}
+	}
+}
+
+func TestFBBFlowMultiBenchKeepsGoodReports(t *testing.T) {
+	var out, errb bytes.Buffer
+	err := run([]string{"-bench", "c1355,bogus", "-parallel", "1"}, &out, &errb)
+	if err == nil {
+		t.Fatal("failing benchmark did not fail the run")
+	}
+	if !strings.Contains(out.String(), "c1355:") {
+		t.Error("completed report discarded on partial failure")
+	}
+	if !strings.Contains(errb.String(), "bogus") {
+		t.Error("failure not annotated on stderr")
+	}
+}
+
+func TestFBBFlowRejectsArtifactsWithMultipleBenches(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-bench", "c1355,c3540", "-def", "x.def"}, &out, &errb); err == nil {
+		t.Error("-def with multiple benches accepted")
+	}
+}

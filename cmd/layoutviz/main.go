@@ -9,27 +9,42 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro"
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "layoutviz:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("layoutviz", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		bench  = flag.String("bench", "c5315", "benchmark name")
-		beta   = flag.Float64("beta", 0.05, "slowdown coefficient")
-		c      = flag.Int("c", 3, "maximum clusters")
-		format = flag.String("format", "ascii", "output format: ascii or svg")
-		out    = flag.String("o", "", "output file (default stdout)")
+		bench  = fs.String("bench", "c5315", "benchmark name")
+		beta   = fs.Float64("beta", 0.05, "slowdown coefficient")
+		c      = fs.Int("c", 3, "maximum clusters")
+		format = fs.String("format", "ascii", "output format: ascii or svg")
+		out    = fs.String("o", "", "output file (default stdout)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h/-help: usage already printed, a clean exit
+		}
+		return err
+	}
 
 	st, err := repro.StudyLayout(*bench, *beta, *c)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "layoutviz:", err)
-		os.Exit(1)
+		return err
 	}
 	var payload string
 	switch *format {
@@ -38,17 +53,16 @@ func main() {
 	case "svg":
 		payload = st.SVG
 	default:
-		fmt.Fprintln(os.Stderr, "layoutviz: unknown format", *format)
-		os.Exit(1)
+		return fmt.Errorf("unknown format %s", *format)
 	}
 	if *out == "" {
-		fmt.Print(payload)
-		return
+		fmt.Fprint(stdout, payload)
+		return nil
 	}
 	if err := os.WriteFile(*out, []byte(payload), 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "layoutviz:", err)
-		os.Exit(1)
+		return err
 	}
-	fmt.Printf("wrote %s (%d bytes); area overhead %.2f%%, %d bias pair(s)\n",
+	fmt.Fprintf(stdout, "wrote %s (%d bytes); area overhead %.2f%%, %d bias pair(s)\n",
 		*out, len(payload), st.Report.AreaOverheadPct, len(st.Report.VbsLevels))
+	return nil
 }

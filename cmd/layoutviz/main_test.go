@@ -1,0 +1,47 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestLayoutvizASCII(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-bench", "c1355", "-format", "ascii"}, &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "legend") {
+		t.Errorf("ASCII render missing legend:\n%s", out.String())
+	}
+}
+
+func TestLayoutvizSVGToFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c1355.svg")
+	var out, errb bytes.Buffer
+	if err := run([]string{"-bench", "c1355", "-format", "svg", "-o", path}, &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "<svg") {
+		t.Error("output file is not an SVG")
+	}
+	if !strings.Contains(out.String(), "wrote "+path) {
+		t.Errorf("missing confirmation line:\n%s", out.String())
+	}
+}
+
+func TestLayoutvizBadInputs(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-bench", "c1355", "-format", "jpeg"}, &out, &errb); err == nil {
+		t.Error("unknown format accepted")
+	}
+	if err := run([]string{"-bench", "bogus"}, &out, &errb); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}

@@ -23,8 +23,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -35,15 +37,29 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "table1:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("table1", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		benchList  = flag.String("benchmarks", "", "comma-separated benchmark names (default: all)")
-		betaList   = flag.String("betas", "0.05,0.10", "comma-separated slowdown coefficients")
-		ilpTimeout = flag.Duration("ilp-timeout", 20*time.Second, "ILP time budget per instance")
-		ilpGates   = flag.Int("ilp-gates", 5000, "skip the ILP above this gate count")
-		parallel   = flag.Int("parallel", 0, "concurrent table cells (0 = one per CPU, 1 = sequential)")
-		csv        = flag.Bool("csv", false, "emit CSV")
+		benchList  = fs.String("benchmarks", "", "comma-separated benchmark names (default: all)")
+		betaList   = fs.String("betas", "0.05,0.10", "comma-separated slowdown coefficients")
+		ilpTimeout = fs.Duration("ilp-timeout", 20*time.Second, "ILP time budget per instance")
+		ilpGates   = fs.Int("ilp-gates", 5000, "skip the ILP above this gate count")
+		parallel   = fs.Int("parallel", 0, "concurrent table cells (0 = one per CPU, 1 = sequential)")
+		csv        = fs.Bool("csv", false, "emit CSV")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h/-help: usage already printed, a clean exit
+		}
+		return err
+	}
 
 	opts := repro.Table1Options{
 		ILPTimeLimit: *ilpTimeout,
@@ -55,16 +71,14 @@ func main() {
 	for _, s := range strings.Split(*betaList, ",") {
 		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "table1: bad beta:", s)
-			os.Exit(1)
+			return fmt.Errorf("bad beta: %s", s)
 		}
 		opts.Betas = append(opts.Betas, v)
 	}
 
 	rows, err := repro.NewRunner(*parallel).Table1(opts)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "table1:", err)
-		os.Exit(1)
+		return err
 	}
 
 	t := report.New(
@@ -102,16 +116,18 @@ func main() {
 	for _, r := range rows {
 		if r.Err != "" {
 			failed++
-			fmt.Fprintf(os.Stderr, "table1: %s beta=%g%%: %s\n", r.Benchmark, r.BetaPct, r.Err)
+			fmt.Fprintf(stderr, "table1: %s beta=%g%%: %s\n", r.Benchmark, r.BetaPct, r.Err)
 		}
 	}
 	if *csv {
-		fmt.Print(t.CSV())
+		fmt.Fprint(stdout, t.CSV())
 	} else {
-		fmt.Print(t.String())
-		fmt.Println("\n* incumbent at the time budget (optimality not proven); - not run (paper: did not converge)")
+		fmt.Fprint(stdout, t.String())
+		fmt.Fprintln(stdout, "\n* incumbent at the time budget (optimality not proven); - not run (paper: did not converge)")
 	}
 	if failed > 0 {
-		os.Exit(1) // partial rows printed above, but the run is not clean
+		// Partial rows printed above, but the run is not clean.
+		return fmt.Errorf("%d cell(s) failed", failed)
 	}
+	return nil
 }

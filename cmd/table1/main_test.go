@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// TestTable1Golden is the Table 1 regression net: the heuristic table for
+// two small benchmarks is committed under testdata/ and compared byte for
+// byte, so an STA or heuristic refactor cannot silently drift the paper's
+// numbers. The ILP is skipped (-ilp-gates 1) to keep the bytes independent
+// of wall-clock budgets; regenerate with `go test ./cmd/table1 -update`.
+func TestTable1Golden(t *testing.T) {
+	for _, bench := range []string{"c1355", "c3540"} {
+		t.Run(bench, func(t *testing.T) {
+			var out, errb bytes.Buffer
+			err := run([]string{"-benchmarks", bench, "-ilp-gates", "1", "-parallel", "1"}, &out, &errb)
+			if err != nil {
+				t.Fatalf("run: %v (stderr: %s)", err, errb.String())
+			}
+			golden := filepath.Join("testdata", "table1_"+bench+".golden")
+			if *update {
+				if err := os.WriteFile(golden, out.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("%v (run with -update to create it)", err)
+			}
+			if !bytes.Equal(out.Bytes(), want) {
+				t.Errorf("output drifted from %s:\n--- got ---\n%s\n--- want ---\n%s",
+					golden, out.String(), want)
+			}
+		})
+	}
+}
+
+func TestTable1CSV(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-benchmarks", "c1355", "-betas", "0.05", "-ilp-gates", "1", "-csv"}, &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "c1355") {
+		t.Errorf("CSV output missing the benchmark row:\n%s", out.String())
+	}
+}
+
+func TestTable1BadFlags(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-betas", "zap"}, &out, &errb); err == nil {
+		t.Error("bad -betas accepted")
+	}
+	if err := run([]string{"-no-such-flag"}, &out, &errb); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+func TestTable1FailedCellAnnotated(t *testing.T) {
+	var out, errb bytes.Buffer
+	err := run([]string{"-benchmarks", "c1355,bogus", "-betas", "0.05", "-ilp-gates", "1"}, &out, &errb)
+	if err == nil {
+		t.Fatal("failing cell did not fail the run")
+	}
+	if !strings.Contains(out.String(), "c1355") {
+		t.Error("completed rows discarded on partial failure")
+	}
+	if !strings.Contains(errb.String(), "bogus") {
+		t.Error("failed cell not annotated on stderr")
+	}
+}

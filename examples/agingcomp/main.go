@@ -10,29 +10,54 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"repro"
 	"repro/internal/report"
+	"repro/internal/sta"
 	"repro/internal/tech"
 	"repro/internal/variation"
 )
 
 func main() {
-	bench := flag.String("bench", "c3540", "benchmark name")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("agingcomp", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	bench := fs.String("bench", "c3540", "benchmark name")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h/-help: usage already printed, a clean exit
+		}
+		return err
+	}
 
 	pl, nom, err := repro.NominalTiming(*bench)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	proc := tech.Default45nm()
 	model := variation.Default()
 	die := model.Sample(pl, proc, 11)
 
-	fmt.Printf("%s: nominal Dcrit %.0f ps; one die followed over 10 years\n\n",
+	// One reusable analyzer serves every checkpoint's re-tuning — the
+	// batched form the periodic re-tuning controller would run on-line.
+	an, err := sta.NewAnalyzer(pl, sta.Options{})
+	if err != nil {
+		return err
+	}
+	rt := variation.NewRetimer(an)
+
+	fmt.Fprintf(stdout, "%s: nominal Dcrit %.0f ps; one die followed over 10 years\n\n",
 		*bench, nom.DcritPS)
 
 	t := report.New("dynamic compensation under aging and temperature",
@@ -49,11 +74,11 @@ func main() {
 		for g := range aged.DelayScale {
 			aged.DelayScale[g] = hotProc.DelayFactorDVth(aged.DVthV[g])
 		}
-		r, err := variation.Tune(pl, nom, aged, hotProc, variation.TuneOptions{
+		r, err := variation.TuneOn(rt, nom, aged, hotProc, variation.TuneOptions{
 			GuardbandPct: 0.005,
 		})
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		tuned := "no (already met)"
 		clusters := "-"
@@ -74,7 +99,8 @@ func main() {
 			fmt.Sprintf("%.2f uW", r.LeakAfterNW/1000),
 		)
 	}
-	fmt.Print(t.String())
-	fmt.Println("\nthe controller escalates the bias as the die degrades, trading leakage")
-	fmt.Println("for timing exactly as the static process-variation flow does at time zero.")
+	fmt.Fprint(stdout, t.String())
+	fmt.Fprintln(stdout, "\nthe controller escalates the bias as the die degrades, trading leakage")
+	fmt.Fprintln(stdout, "for timing exactly as the static process-variation flow does at time zero.")
+	return nil
 }

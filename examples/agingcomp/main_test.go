@@ -1,0 +1,24 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAgingCompExample(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-bench", "c1355"}, &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "dynamic compensation under aging and temperature") {
+		t.Errorf("missing table header:\n%s", s)
+	}
+	// Five checkpoints: year 0 through year 10.
+	for _, year := range []string{"300K", "330K", "345K", "360K", "370K"} {
+		if !strings.Contains(s, year) {
+			t.Errorf("missing checkpoint %s:\n%s", year, s)
+		}
+	}
+}

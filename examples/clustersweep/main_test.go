@@ -1,0 +1,27 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestClusterSweepExample(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-bench", "c1355", "-from", "2", "-to", "4", "-heuristic"}, &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"C= 2", "C= 3", "C= 4", "marginal gain"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestClusterSweepBadRange(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-bench", "c1355", "-from", "5", "-to", "2"}, &out, &errb); err == nil {
+		t.Error("inverted sweep range accepted")
+	}
+}

@@ -1,0 +1,27 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestMultiBlockExample(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-blocks", "c1355,c3540", "-betas", "0.05,0.08"}, &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"c1355", "c3540", "central generator", "vbsn="} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestMultiBlockMismatchedBetas(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-blocks", "c1355,c3540", "-betas", "0.05"}, &out, &errb); err == nil {
+		t.Error("mismatched block/beta counts accepted")
+	}
+}

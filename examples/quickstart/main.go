@@ -5,12 +5,16 @@
 // (no-body-bias plus two forward-bias voltages), exactly the configuration
 // the paper's layout supports. Run with:
 //
-//	go run ./examples/quickstart
+//	go run ./examples/quickstart [-bench c5315]
 package main
 
 import (
+	"errors"
+	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
 	"strings"
 
 	"repro"
@@ -18,38 +22,55 @@ import (
 )
 
 func main() {
-	res, err := repro.Run(repro.Config{
-		Benchmark:   "c5315", // one of repro.Benchmarks()
-		Beta:        0.05,    // compensate a 5% slowdown
-		MaxClusters: 3,       // NBB + two bias voltages
-	})
-	if err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		log.Fatal(err)
 	}
+}
 
-	fmt.Printf("design    : %s (%d gates in %d rows)\n",
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("quickstart", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	bench := fs.String("bench", "c5315", "benchmark name (one of repro.Benchmarks())")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h/-help: usage already printed, a clean exit
+		}
+		return err
+	}
+
+	res, err := repro.Run(repro.Config{
+		Benchmark:   *bench,
+		Beta:        0.05, // compensate a 5% slowdown
+		MaxClusters: 3,    // NBB + two bias voltages
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(stdout, "design    : %s (%d gates in %d rows)\n",
 		res.Design.Name, res.Design.Gates, res.Rows)
-	fmt.Printf("timing    : Dcrit %.0f ps, %d violating-path constraints at beta=5%%\n",
+	fmt.Fprintf(stdout, "timing    : Dcrit %.0f ps, %d violating-path constraints at beta=5%%\n",
 		res.DcritPS, res.Constraints)
 
-	fmt.Printf("\nblock-level FBB (the prior art baseline):\n")
-	fmt.Printf("  every row at vbs=%.2fV -> %.3f uW total leakage\n",
+	fmt.Fprintf(stdout, "\nblock-level FBB (the prior art baseline):\n")
+	fmt.Fprintf(stdout, "  every row at vbs=%.2fV -> %.3f uW total leakage\n",
 		res.Problem.VbsOf(res.Single)[0], res.Single.TotalLeakNW/1000)
 
-	fmt.Printf("\nrow-clustered FBB (this paper):\n")
+	fmt.Fprintf(stdout, "\nrow-clustered FBB (this paper):\n")
 	var vbs []string
 	for _, v := range res.Problem.VbsOf(res.Heuristic) {
 		vbs = append(vbs, fmt.Sprintf("%.2fV", v))
 	}
-	fmt.Printf("  %d clusters at vbs = %s\n", res.Heuristic.Clusters, strings.Join(vbs, ", "))
-	fmt.Printf("  %.3f uW total leakage -> %.1f%% savings in %v\n",
+	fmt.Fprintf(stdout, "  %d clusters at vbs = %s\n", res.Heuristic.Clusters, strings.Join(vbs, ", "))
+	fmt.Fprintf(stdout, "  %.3f uW total leakage -> %.1f%% savings in %v\n",
 		res.Heuristic.TotalLeakNW/1000,
 		core.Savings(res.Single, res.Heuristic),
 		res.HeuristicTime)
 
-	fmt.Printf("\nphysical implementation:\n")
-	fmt.Printf("  %d bias pair(s) routed, max row-utilization increase %.1f%%,\n",
+	fmt.Fprintf(stdout, "\nphysical implementation:\n")
+	fmt.Fprintf(stdout, "  %d bias pair(s) routed, max row-utilization increase %.1f%%,\n",
 		len(res.Layout.VbsLevels), res.Layout.MaxUtilIncrease*100)
-	fmt.Printf("  %d well-separation boundaries, die-area overhead %.2f%%\n",
+	fmt.Fprintf(stdout, "  %d well-separation boundaries, die-area overhead %.2f%%\n",
 		res.Layout.WellSepBoundaries, res.Layout.AreaOverheadPct)
+	return nil
 }

@@ -1,0 +1,32 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestQuickstart(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-bench", "c1355"}, &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"design    : c1355",
+		"block-level FBB",
+		"row-clustered FBB",
+		"physical implementation",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestQuickstartUnknownBench(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-bench", "bogus"}, &out, &errb); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}

@@ -10,9 +10,12 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
 	"strings"
 
 	"repro"
@@ -23,52 +26,78 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("yieldtuning", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		bench = flag.String("bench", "c1355", "benchmark name")
-		dies  = flag.Int("dies", 200, "Monte-Carlo population size")
-		seed  = flag.Int64("seed", 1, "sampling seed")
+		bench = fs.String("bench", "c1355", "benchmark name")
+		dies  = fs.Int("dies", 200, "Monte-Carlo population size")
+		seed  = fs.Int64("seed", 1, "sampling seed")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h/-help: usage already printed, a clean exit
+		}
+		return err
+	}
+	if *dies <= 0 {
+		return fmt.Errorf("yieldtuning: -dies must be positive")
+	}
 
 	pl, nom, err := repro.NominalTiming(*bench)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	proc := tech.Default45nm()
 	model := variation.Default()
 
-	fmt.Printf("%s: %d gates, nominal Dcrit %.0f ps\n", *bench, len(pl.Design.Gates), nom.DcritPS)
-	fmt.Printf("variation: sigma(d2d)=%.0fmV sigma(sys)=%.0fmV sigma(rnd)=%.0fmV\n\n",
+	fmt.Fprintf(stdout, "%s: %d gates, nominal Dcrit %.0f ps\n", *bench, len(pl.Design.Gates), nom.DcritPS)
+	fmt.Fprintf(stdout, "variation: sigma(d2d)=%.0fmV sigma(sys)=%.0fmV sigma(rnd)=%.0fmV\n\n",
 		model.SigmaD2DmV, model.SigmaSysmV, model.SigmaRndmV)
 
 	// Slowdown histogram before tuning.
-	fmt.Println("die slowdown distribution (before tuning):")
-	histogram(pl, nom, proc, model, *dies, *seed)
+	fmt.Fprintln(stdout, "die slowdown distribution (before tuning):")
+	if err := histogram(stdout, pl, nom, proc, model, *dies, *seed); err != nil {
+		return err
+	}
 
 	st, err := variation.YieldStudy(context.Background(), pl, proc, model, *dies, *seed,
 		variation.TuneOptions{GuardbandPct: 0.005})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	before, after := st.YieldPct()
-	fmt.Printf("\nparametric yield : %5.1f%%  ->  %5.1f%%  (%d dies)\n", before, after, st.Dies)
-	fmt.Printf("dies tuned       : %d (mean %.1f allocation iterations, %.1f clusters)\n",
+	fmt.Fprintf(stdout, "\nparametric yield : %5.1f%%  ->  %5.1f%%  (%d dies)\n", before, after, st.Dies)
+	fmt.Fprintf(stdout, "dies tuned       : %d (mean %.1f allocation iterations, %.1f clusters)\n",
 		st.TunedDies, st.MeanTuneIters, st.MeanClustersPerTuned)
-	fmt.Printf("tuning failures  : %d (beyond the FBB compensation range)\n", st.FailedCompensations)
-	fmt.Printf("mean leakage     : %.2f uW -> %.2f uW (+%.1f%% spent on compensation)\n",
+	fmt.Fprintf(stdout, "tuning failures  : %d (beyond the FBB compensation range)\n", st.FailedCompensations)
+	fmt.Fprintf(stdout, "mean leakage     : %.2f uW -> %.2f uW (+%.1f%% spent on compensation)\n",
 		st.MeanLeakBeforeNW/1000, st.MeanLeakAfterNW/1000,
 		100*(st.MeanLeakAfterNW-st.MeanLeakBeforeNW)/st.MeanLeakBeforeNW)
-	fmt.Printf("worst die        : %+.1f%% slow\n", st.WorstBetaPct)
+	fmt.Fprintf(stdout, "worst die        : %+.1f%% slow\n", st.WorstBetaPct)
+	return nil
 }
 
-func histogram(pl *place.Placement, nom *sta.Timing, proc *tech.Process,
-	m variation.Model, dies int, seed int64) {
+// histogram re-times the same per-index die population the study samples
+// (variation.DieSeed), re-using one analyzer across all dies.
+func histogram(w io.Writer, pl *place.Placement, nom *sta.Timing, proc *tech.Process,
+	m variation.Model, dies int, seed int64) error {
+	an, err := sta.NewAnalyzer(pl, sta.Options{})
+	if err != nil {
+		return err
+	}
+	rt := variation.NewRetimer(an)
 	bins := make([]int, 9) // <-6, -6..-4, ..., 8..10, >10 (%)
 	for i := 0; i < dies; i++ {
-		die := m.Sample(pl, proc, seed+int64(i)*7919)
-		tm, err := die.Timing(pl)
+		die := m.Sample(pl, proc, variation.DieSeed(seed, i))
+		tm, err := rt.Time(die)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		beta := (tm.DcritPS/nom.DcritPS - 1) * 100
 		bin := int((beta + 6) / 2)
@@ -82,6 +111,7 @@ func histogram(pl *place.Placement, nom *sta.Timing, proc *tech.Process,
 	}
 	labels := []string{"< -4%", "-4..-2", "-2..0", "0..2", "2..4", "4..6", "6..8", "8..10", "> 10%"}
 	for i, n := range bins {
-		fmt.Printf("  %-7s %4d %s\n", labels[i], n, strings.Repeat("*", n*60/dies))
+		fmt.Fprintf(w, "  %-7s %4d %s\n", labels[i], n, strings.Repeat("*", n*60/dies))
 	}
+	return nil
 }

@@ -1,0 +1,31 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestYieldTuningExample(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-bench", "c1355", "-dies", "8", "-seed", "3"}, &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"die slowdown distribution",
+		"parametric yield",
+		"mean leakage",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestYieldTuningBadDies(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-bench", "c1355", "-dies", "0"}, &out, &errb); err == nil {
+		t.Error("zero dies accepted")
+	}
+}

@@ -418,12 +418,14 @@ func MultiBlock(names []string, betas []float64) (*MultiBlockResult, error) {
 
 // Yield runs the Monte-Carlo post-silicon tuning study on a benchmark,
 // tuning dies concurrently on r's worker pool over the cached placement.
+// The prefix cache supplies both the nominal timing and the reusable STA
+// analyzer, so each die re-times without rebuilding the timing graph.
 func (r *Runner) Yield(name string, dies int, seed int64) (*variation.YieldStats, error) {
 	pfx, err := r.eng.Prefix(name, 0)
 	if err != nil {
 		return nil, err
 	}
-	return variation.YieldStudy(r.context(), pfx.Placement, tech.Default45nm(),
+	return variation.YieldStudyOn(r.context(), pfx.Analyzer, pfx.Timing, tech.Default45nm(),
 		variation.Default(), dies, seed,
 		variation.TuneOptions{GuardbandPct: 0.005, Workers: r.parallel})
 }

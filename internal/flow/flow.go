@@ -35,6 +35,10 @@ type Prefix struct {
 	Design    *netlist.Design
 	Placement *place.Placement
 	Timing    *sta.Timing
+	// Analyzer is the reusable STA engine over Placement (Timing is its
+	// nominal run). It is immutable and safe to share across workers;
+	// each worker keeps its own sta.Timing scratch buffer for Run.
+	Analyzer *sta.Analyzer
 }
 
 // Engine memoizes flow prefixes. The zero value is not usable; construct
@@ -88,9 +92,13 @@ func PrefixFor(d *netlist.Design, lib *cell.Library, forceRows int) (*Prefix, er
 	if err != nil {
 		return nil, err
 	}
-	tm, err := sta.Analyze(pl, sta.Options{})
+	an, err := sta.NewAnalyzer(pl, sta.Options{})
 	if err != nil {
 		return nil, err
 	}
-	return &Prefix{Design: d, Placement: pl, Timing: tm}, nil
+	tm, err := an.Run(nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Prefix{Design: d, Placement: pl, Timing: tm, Analyzer: an}, nil
 }

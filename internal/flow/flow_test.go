@@ -187,3 +187,76 @@ func TestEnginePrefixSharedUnderRace(t *testing.T) {
 		t.Fatal("forceRows variant regenerated the design instead of sharing stage 1")
 	}
 }
+
+// TestMapWithWorkerState pins the MapWith contract: each worker gets its
+// own state from newState, a state is never used by two items concurrently,
+// results come back in index order, and the first failure cancels the pool.
+func TestMapWithWorkerState(t *testing.T) {
+	type state struct {
+		id   int32
+		busy atomic.Bool
+	}
+	var created atomic.Int32
+	const n = 200
+	out, err := MapWith(context.Background(), 8, n,
+		func() *state { return &state{id: created.Add(1)} },
+		func(_ context.Context, s *state, i int) (int32, error) {
+			if !s.busy.CompareAndSwap(false, true) {
+				t.Error("worker state used by two items concurrently")
+			}
+			defer s.busy.Store(false)
+			return s.id, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != n {
+		t.Fatalf("len(out) = %d, want %d", len(out), n)
+	}
+	if c := created.Load(); c < 1 || c > 8 {
+		t.Fatalf("created %d states, want 1..8", c)
+	}
+	seen := map[int32]bool{}
+	for _, id := range out {
+		if id < 1 || id > created.Load() {
+			t.Fatalf("item ran with unknown state id %d", id)
+		}
+		seen[id] = true
+	}
+	if len(seen) != int(created.Load()) {
+		t.Fatalf("only %d of %d states ever ran an item", len(seen), created.Load())
+	}
+}
+
+func TestMapWithSequentialSingleState(t *testing.T) {
+	var created atomic.Int32
+	out, err := MapWith(context.Background(), 1, 5,
+		func() int32 { return created.Add(1) },
+		func(_ context.Context, s int32, i int) (int, error) { return int(s) + i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if created.Load() != 1 {
+		t.Fatalf("sequential run created %d states, want 1", created.Load())
+	}
+	for i, v := range out {
+		if v != 1+i {
+			t.Fatalf("out[%d] = %d, want %d", i, v, 1+i)
+		}
+	}
+}
+
+func TestMapWithFirstErrorWins(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := MapWith(context.Background(), 4, 50,
+		func() struct{} { return struct{}{} },
+		func(ctx context.Context, _ struct{}, i int) (int, error) {
+			if i == 3 {
+				return 0, boom
+			}
+			return i, nil
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}

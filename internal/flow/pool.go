@@ -7,18 +7,30 @@ import (
 	"sync"
 )
 
-// forEach dispatches indices [0, n) to at most `workers` goroutines and
-// waits for all dispatched work to finish. workers <= 0 means one per CPU.
-func forEach(workers, n int, do func(i int)) {
+// effectiveWorkers resolves the worker count: <= 0 means one per CPU, and
+// never more workers than items.
+func effectiveWorkers(workers, n int) int {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > n {
 		workers = n
 	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// forEach dispatches indices [0, n) to at most `workers` goroutines and
+// waits for all dispatched work to finish; do receives the id of the worker
+// it runs on (0..workers-1), which worker-scoped state keys off. workers
+// <= 0 means one per CPU.
+func forEach(workers, n int, do func(worker, i int)) {
+	workers = effectiveWorkers(workers, n)
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			do(i)
+			do(0, i)
 		}
 		return
 	}
@@ -26,12 +38,12 @@ func forEach(workers, n int, do func(i int)) {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for i := range idx {
-				do(i)
+				do(worker, i)
 			}
-		}()
+		}(w)
 	}
 	for i := 0; i < n; i++ {
 		idx <- i
@@ -52,7 +64,7 @@ func MapAll[T any](ctx context.Context, workers, n int, fn func(ctx context.Cont
 	}
 	out = make([]T, n)
 	errs = make([]error, n)
-	forEach(workers, n, func(i int) {
+	forEach(workers, n, func(_, i int) {
 		if err := ctx.Err(); err != nil {
 			errs[i] = err
 			return
@@ -67,6 +79,19 @@ func MapAll[T any](ctx context.Context, workers, n int, fn func(ctx context.Cont
 // index order. The first failure cancels the context passed to in-flight
 // and pending items and is returned; results are discarded on error.
 func Map[T any](ctx context.Context, workers, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	return MapWith(ctx, workers, n,
+		func() struct{} { return struct{}{} },
+		func(ctx context.Context, _ struct{}, i int) (T, error) { return fn(ctx, i) })
+}
+
+// MapWith is Map with worker-scoped state: each worker goroutine obtains
+// its own S from newState (lazily, on its first item) and passes it to
+// every fn invocation it runs, so fn can reuse scratch buffers — an STA
+// analyzer's Timing buffer, an allocator arena — without synchronization.
+// A state is only ever used by one item at a time; it is never shared
+// across concurrent fn calls. Error semantics match Map: the first failure
+// cancels the pool and is returned, and results are discarded on error.
+func MapWith[S, T any](ctx context.Context, workers, n int, newState func() S, fn func(ctx context.Context, s S, i int) (T, error)) ([]T, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -76,13 +101,25 @@ func Map[T any](ctx context.Context, workers, n int, fn func(ctx context.Context
 		causeOnce sync.Once
 		cause     error
 	)
-	out, errs := MapAll(mctx, workers, n, func(ctx context.Context, i int) (T, error) {
-		v, err := fn(ctx, i)
-		if err != nil {
-			causeOnce.Do(func() { cause = err })
+	w := effectiveWorkers(workers, n)
+	states := make([]S, w)
+	inited := make([]bool, w)
+	out := make([]T, n)
+	errs := make([]error, n)
+	forEach(w, n, func(worker, i int) {
+		if err := mctx.Err(); err != nil {
+			errs[i] = err
+			return
+		}
+		if !inited[worker] {
+			states[worker] = newState()
+			inited[worker] = true
+		}
+		out[i], errs[i] = fn(mctx, states[worker], i)
+		if errs[i] != nil {
+			causeOnce.Do(func() { cause = errs[i] })
 			cancel()
 		}
-		return v, err
 	})
 	// Prefer the lowest-index real error so sequential and parallel runs
 	// report the same failure; fall back to the chronological cause (set

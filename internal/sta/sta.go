@@ -7,11 +7,6 @@
 package sta
 
 import (
-	"errors"
-	"fmt"
-	"sort"
-	"strings"
-
 	"repro/internal/netlist"
 	"repro/internal/place"
 )
@@ -67,168 +62,28 @@ type Timing struct {
 	// Paths is the pruned unique set Pi of longest paths through each
 	// cell, sorted by descending delay.
 	Paths []Path
+
+	// Reusable per-run state for Analyzer.Run: predecessor/successor
+	// choices, the path-chain walk and storage buffers, and the
+	// deduplication hash table. A Timing that has been through a Run
+	// carries its capacity to the next Run on the same buffer.
+	bestPred, bestSucc []int32
+	pathOf             []int32
+	backBuf            []netlist.GateID
+	arena              []netlist.GateID
+	buckets            []int32
+	bnext              []int32
 }
 
-// Analyze runs STA on a placed design.
+// Analyze runs STA on a placed design. It is the one-shot form of Analyzer:
+// callers re-timing the same placement under many DelayScale vectors should
+// construct one Analyzer and call Run with a reused buffer instead.
 func Analyze(pl *place.Placement, opts Options) (*Timing, error) {
-	opts.setDefaults()
-	d := pl.Design
-	n := len(d.Gates)
-	if n == 0 {
-		return nil, errors.New("sta: empty design")
-	}
-	if opts.DelayScale != nil && len(opts.DelayScale) != n {
-		return nil, fmt.Errorf("sta: DelayScale length %d, want %d", len(opts.DelayScale), n)
-	}
-	topo, err := d.TopoOrder()
+	an, err := NewAnalyzer(pl, opts)
 	if err != nil {
 		return nil, err
 	}
-
-	tm := &Timing{
-		Pl:          pl,
-		Opts:        opts,
-		GateDelayPS: make([]float64, n),
-		ArrPS:       make([]float64, n),
-		TailPS:      make([]float64, n),
-	}
-
-	// Loaded delays.
-	fanouts := pl.Fanouts()
-	for g := 0; g < n; g++ {
-		load := opts.WireCapPerUMfF * pl.NetHPWL(netlist.GateID(g))
-		for _, f := range fanouts[g] {
-			// One pin per occurrence of g in f's inputs.
-			for _, in := range d.Gates[f].Ins {
-				if in.Kind == netlist.SigGate && in.Idx == netlist.GateID(g) {
-					load += d.Gates[f].Cell.InputCapFF
-				}
-			}
-		}
-		if len(pl.POsOf(netlist.GateID(g))) > 0 {
-			load += opts.POLoadFF
-		}
-		delay := d.Gates[g].Cell.DelayPS(load)
-		if opts.DelayScale != nil {
-			delay *= opts.DelayScale[g]
-		}
-		tm.GateDelayPS[g] = delay
-	}
-
-	// Forward pass: arrival times and best predecessor.
-	bestPred := make([]int32, n)
-	for i := range bestPred {
-		bestPred[i] = -1
-	}
-	for _, g := range topo {
-		gate := &d.Gates[g]
-		arr := 0.0
-		if !gate.IsDFF() {
-			for _, in := range gate.Ins {
-				if in.Kind != netlist.SigGate {
-					continue
-				}
-				if a := tm.ArrPS[in.Idx]; a > arr {
-					arr = a
-					bestPred[g] = in.Idx
-				}
-			}
-		}
-		tm.ArrPS[g] = arr + tm.GateDelayPS[g]
-	}
-
-	// Backward pass: tails and best successor. Endpoints: PO pins (tail
-	// 0), flip-flop D pins (tail = setup), unloaded outputs (tail 0).
-	bestSucc := make([]int32, n)
-	for i := range bestSucc {
-		bestSucc[i] = -1
-	}
-	for i := len(topo) - 1; i >= 0; i-- {
-		g := topo[i]
-		tail := 0.0
-		succ := int32(-1)
-		for _, f := range fanouts[g] {
-			var cand float64
-			if d.Gates[f].IsDFF() {
-				cand = d.Gates[f].Cell.SetupPS
-			} else {
-				cand = tm.GateDelayPS[f] + tm.TailPS[f]
-			}
-			if cand > tail {
-				tail = cand
-				succ = f
-			}
-		}
-		tm.TailPS[g] = tail
-		bestSucc[g] = succ
-	}
-
-	// Critical delay and the per-cell longest-path set.
-	for g := 0; g < n; g++ {
-		if t := tm.ArrPS[g] + tm.TailPS[g]; t > tm.DcritPS {
-			tm.DcritPS = t
-		}
-	}
-	tm.Paths = tm.extractPaths(bestPred, bestSucc)
-	return tm, nil
-}
-
-// extractPaths reconstructs, for every gate, the longest path through it,
-// and prunes the set to unique paths (the heuristic of [11] the paper uses
-// to avoid full path enumeration).
-func (tm *Timing) extractPaths(bestPred, bestSucc []int32) []Path {
-	n := len(tm.GateDelayPS)
-	seen := make(map[string]int, n)
-	var paths []Path
-	var key strings.Builder
-	for g := 0; g < n; g++ {
-		// Walk back to the startpoint...
-		var back []netlist.GateID
-		for cur := int32(g); cur >= 0; cur = bestPred[cur] {
-			back = append(back, cur)
-		}
-		chain := make([]netlist.GateID, 0, len(back)+8)
-		for i := len(back) - 1; i >= 0; i-- {
-			chain = append(chain, back[i])
-		}
-		// ...then forward to the endpoint. A flip-flop consumer is the
-		// endpoint itself (its D pin); it is not part of the path, but
-		// its setup time is already inside TailPS.
-		for cur := bestSucc[g]; cur >= 0; cur = bestSucc[cur] {
-			if tm.Pl.Design.Gates[cur].IsDFF() {
-				break
-			}
-			chain = append(chain, cur)
-		}
-
-		key.Reset()
-		for _, id := range chain {
-			fmt.Fprintf(&key, "%d,", id)
-		}
-		k := key.String()
-		delay := tm.ArrPS[g] + tm.TailPS[g]
-		if idx, dup := seen[k]; dup {
-			// The same chain reconstructed from different gates can
-			// differ in the last ulp (float association); keep the
-			// max so the critical path matches Dcrit exactly.
-			if delay > paths[idx].DelayPS {
-				paths[idx].DelayPS = delay
-			}
-			continue
-		}
-		seen[k] = len(paths)
-		paths = append(paths, Path{Gates: chain, DelayPS: delay})
-	}
-	sort.Slice(paths, func(i, j int) bool {
-		if paths[i].DelayPS != paths[j].DelayPS {
-			return paths[i].DelayPS > paths[j].DelayPS
-		}
-		return len(paths[i].Gates) > len(paths[j].Gates)
-	})
-	for i := range paths {
-		paths[i].SlackPS = tm.DcritPS - paths[i].DelayPS
-	}
-	return paths
+	return an.Run(opts.DelayScale, nil)
 }
 
 // CriticalPath returns the longest extracted path.

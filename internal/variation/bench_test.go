@@ -1,0 +1,84 @@
+package variation
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/gen"
+	"repro/internal/place"
+	"repro/internal/sta"
+	"repro/internal/tech"
+)
+
+func benchPlaced(b *testing.B, name string) *place.Placement {
+	b.Helper()
+	l := cell.Default()
+	d, err := gen.Build(name, l)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pl, err := place.Place(d, l, place.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return pl
+}
+
+// BenchmarkYieldStudy measures the full Monte-Carlo tuning loop per die —
+// the hot path the Analyzer refactor attacks. Sequential workers so the
+// per-die cost is directly comparable run to run.
+func BenchmarkYieldStudy(b *testing.B) {
+	pl := benchPlaced(b, "c5315")
+	proc := tech.Default45nm()
+	m := Default()
+	const dies = 10
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := YieldStudy(context.Background(), pl, proc, m, dies, 7,
+			TuneOptions{GuardbandPct: 0.005, Workers: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*dies), "ns/die")
+}
+
+// BenchmarkDieRetimeAnalyze is the seed per-die re-timing path: a fresh
+// graph build for every corner.
+func BenchmarkDieRetimeAnalyze(b *testing.B) {
+	pl := benchPlaced(b, "c5315")
+	proc := tech.Default45nm()
+	die := Default().Sample(pl, proc, 7)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := die.Timing(pl); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDieRetimeRetimer is the batched path: shared Analyzer, reused
+// buffers.
+func BenchmarkDieRetimeRetimer(b *testing.B) {
+	pl := benchPlaced(b, "c5315")
+	proc := tech.Default45nm()
+	die := Default().Sample(pl, proc, 7)
+	an, err := sta.NewAnalyzer(pl, sta.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rt := NewRetimer(an)
+	if _, err := rt.Time(die); err != nil { // warm the buffers
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rt.Time(die); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -91,13 +91,15 @@ func (m Model) Sample(pl *place.Placement, proc *tech.Process, seed int64) *Die 
 	return die
 }
 
-// Timing runs STA at the die's corner.
+// Timing runs STA at the die's corner. It rebuilds the timing graph every
+// call; loops re-timing many dies of one placement should use a Retimer.
 func (d *Die) Timing(pl *place.Placement) (*sta.Timing, error) {
 	return sta.Analyze(pl, sta.Options{DelayScale: d.DelayScale})
 }
 
 // TimingWithBias runs STA with both the die's variation and a row-level
-// body-bias assignment applied.
+// body-bias assignment applied (one-shot; see Retimer.TimeWithBias for the
+// batched form).
 func (d *Die) TimingWithBias(pl *place.Placement, proc *tech.Process, assign []int) (*sta.Timing, error) {
 	if len(assign) != pl.NumRows {
 		return nil, errors.New("variation: assignment length mismatch")

@@ -59,51 +59,52 @@ func (o *RBBOptions) setDefaults() {
 // RecoverLeakage applies the deepest uniform reverse bias that keeps the
 // die within nominal timing. The die's own variation is accounted for
 // exactly: each gate's delay combines its threshold shift with the reverse
-// bias through the process model.
+// bias through the process model. It is the one-shot form of
+// RecoverLeakageOn; population studies should share an Analyzer.
 func RecoverLeakage(pl *place.Placement, nom *sta.Timing, die *Die, proc *tech.Process, opts RBBOptions) (*RBBResult, error) {
+	an, err := sta.NewAnalyzer(pl, sta.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return RecoverLeakageOn(NewRetimer(an), nom, die, proc, opts)
+}
+
+// RecoverLeakageOn is RecoverLeakage on a reusable Retimer: the bias-scan
+// re-timings run through the Retimer's shared Analyzer and reused buffers.
+func RecoverLeakageOn(rt *Retimer, nom *sta.Timing, die *Die, proc *tech.Process, opts RBBOptions) (*RBBResult, error) {
 	opts.setDefaults()
 	if nom == nil || die == nil {
 		return nil, errors.New("variation: nil timing or die")
 	}
-	dieTm, err := die.Timing(pl)
+	pl := rt.Placement()
+	dieTm, err := rt.Time(die)
 	if err != nil {
 		return nil, err
 	}
+	dieDcrit := dieTm.DcritPS // rt's buffer is reused by the bias scan below
 	res := &RBBResult{
-		DcritBeforePS: dieTm.DcritPS,
-		DcritAfterPS:  dieTm.DcritPS,
+		DcritBeforePS: dieDcrit,
+		DcritAfterPS:  dieDcrit,
 		LeakBeforeNW:  die.LeakageNW(pl, proc, nil),
 	}
 	res.LeakAfterNW = res.LeakBeforeNW
 	limit := nom.DcritPS * (1 - opts.MarginPct)
-	if dieTm.DcritPS >= limit {
+	if dieDcrit >= limit {
 		return res, nil // no margin to spend
-	}
-
-	scale := make([]float64, len(die.DVthV))
-	tryBias := func(vbs float64) (float64, error) {
-		for g := range scale {
-			scale[g] = proc.DelayFactorBias(vbs, die.DVthV[g])
-		}
-		tm, err := sta.Analyze(pl, sta.Options{DelayScale: scale})
-		if err != nil {
-			return 0, err
-		}
-		return tm.DcritPS, nil
 	}
 
 	// Deepest feasible reverse level, scanned from the shallow end (the
 	// feasible set is contiguous: more RBB is strictly slower).
-	best, bestDcrit := 0.0, dieTm.DcritPS
+	best, bestDcrit := 0.0, dieDcrit
 	for vbs := -opts.StepV; vbs >= -opts.MaxV-1e-9; vbs -= opts.StepV {
-		dcrit, err := tryBias(vbs)
+		tm, err := rt.TimeUniformBias(die, proc, vbs)
 		if err != nil {
 			return nil, err
 		}
-		if dcrit > limit {
+		if tm.DcritPS > limit {
 			break
 		}
-		best, bestDcrit = vbs, dcrit
+		best, bestDcrit = vbs, tm.DcritPS
 	}
 	if best == 0 {
 		return res, nil
@@ -130,19 +131,25 @@ type RecoveryStats struct {
 	MeanLeakAfterNW  float64
 }
 
-// RecoveryStudy applies RBB to every fast die of a population.
+// RecoveryStudy applies RBB to every fast die of a population, sharing one
+// Analyzer and one Retimer across all dies and bias steps.
 func RecoveryStudy(pl *place.Placement, proc *tech.Process, m Model, nDies int, seed int64, opts RBBOptions) (*RecoveryStats, error) {
 	if nDies <= 0 {
 		return nil, errors.New("variation: nDies must be positive")
 	}
-	nom, err := sta.Analyze(pl, sta.Options{})
+	an, err := sta.NewAnalyzer(pl, sta.Options{})
 	if err != nil {
 		return nil, err
 	}
+	nom, err := an.Run(nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	rt := NewRetimer(an)
 	st := &RecoveryStats{Dies: nDies}
 	for i := 0; i < nDies; i++ {
-		die := m.Sample(pl, proc, seed+int64(i)*104729)
-		r, err := RecoverLeakage(pl, nom, die, proc, opts)
+		die := m.Sample(pl, proc, DieSeed(seed, i))
+		r, err := RecoverLeakageOn(rt, nom, die, proc, opts)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,92 @@
+package variation
+
+import (
+	"errors"
+
+	"repro/internal/place"
+	"repro/internal/sta"
+	"repro/internal/tech"
+)
+
+// Retimer re-times sampled dies of one placement through a shared
+// sta.Analyzer with reusable scratch buffers: the delay-scale vector and the
+// sta.Timing result are both recycled call to call, so a Monte-Carlo loop
+// pays no per-die graph work and near-zero allocations. The Analyzer may be
+// shared freely (it is immutable); the Retimer itself holds the mutable
+// buffers and must not be used from more than one goroutine at a time —
+// create one per worker (flow.MapWith does exactly that).
+//
+// Every Time* method returns the Retimer's single internal buffer: the
+// result is only valid until the next Time* call on the same Retimer, so
+// callers must copy out any scalars (DcritPS, sensed betas) they need
+// across calls.
+type Retimer struct {
+	an    *sta.Analyzer
+	buf   *sta.Timing
+	scale []float64
+}
+
+// NewRetimer wraps a (possibly shared) Analyzer with private scratch
+// buffers.
+func NewRetimer(an *sta.Analyzer) *Retimer {
+	return &Retimer{an: an, buf: &sta.Timing{}}
+}
+
+// Analyzer returns the shared STA engine.
+func (rt *Retimer) Analyzer() *sta.Analyzer { return rt.an }
+
+// Placement returns the placement being re-timed.
+func (rt *Retimer) Placement() *place.Placement { return rt.an.Placement() }
+
+// Time re-times the die at its sampled variation corner.
+func (rt *Retimer) Time(die *Die) (*sta.Timing, error) {
+	return rt.an.Run(die.DelayScale, rt.buf)
+}
+
+// TimeWithBias re-times the die with a row-level body-bias assignment
+// applied on top of its variation.
+func (rt *Retimer) TimeWithBias(die *Die, proc *tech.Process, assign []int) (*sta.Timing, error) {
+	pl := rt.an.Placement()
+	if len(assign) != pl.NumRows {
+		return nil, errors.New("variation: assignment length mismatch")
+	}
+	grid := pl.Lib.Grid
+	scale := rt.scaleBuf(len(die.DelayScale))
+	for g := range scale {
+		vbs := grid.Voltage(assign[pl.RowOf[g]])
+		scale[g] = proc.DelayFactorBias(vbs, die.DVthV[g])
+	}
+	return rt.an.Run(scale, rt.buf)
+}
+
+// TimeUniformBias re-times the die with one body-bias voltage applied to
+// every gate (the block-level granularity RBB recovery scans).
+func (rt *Retimer) TimeUniformBias(die *Die, proc *tech.Process, vbs float64) (*sta.Timing, error) {
+	scale := rt.scaleBuf(len(die.DVthV))
+	for g := range scale {
+		scale[g] = proc.DelayFactorBias(vbs, die.DVthV[g])
+	}
+	return rt.an.Run(scale, rt.buf)
+}
+
+func (rt *Retimer) scaleBuf(n int) []float64 {
+	if cap(rt.scale) < n {
+		rt.scale = make([]float64, n)
+	}
+	return rt.scale[:n]
+}
+
+// DieSeed derives the sampling seed of die number `die` in a study seeded
+// with `seed`. The splitmix64 finalizer both decorrelates the per-die rand
+// streams (a linear seed stride hands near-identical generator states to
+// adjacent dies) and ties each die to its index alone, so a study's
+// population is byte-identical at any worker count or scheduling order.
+func DieSeed(seed int64, die int) int64 {
+	z := uint64(seed) + uint64(die)*0x9e3779b97f4a7c15
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
+}

@@ -75,25 +75,42 @@ type TuneResult struct {
 // allocate clustered FBB for it on the design-time (nominal) timing model,
 // verify against the die's actual variation, and escalate the target
 // slowdown if the non-uniform variation defeats the uniform-beta model.
+// It is the one-shot form of TuneOn; loops over many dies of one placement
+// should build an Analyzer once and a Retimer per worker.
 func Tune(pl *place.Placement, nom *sta.Timing, die *Die, proc *tech.Process, opts TuneOptions) (*TuneResult, error) {
-	opts.setDefaults()
-	dieTm, err := die.Timing(pl)
+	an, err := sta.NewAnalyzer(pl, sta.Options{})
 	if err != nil {
 		return nil, err
 	}
+	return TuneOn(NewRetimer(an), nom, die, proc, opts)
+}
+
+// TuneOn is Tune on a reusable Retimer: the die re-timings (one at the
+// sampled corner, one per allocation attempt under bias) run through the
+// Retimer's shared Analyzer and reused buffers instead of fresh STA builds.
+func TuneOn(rt *Retimer, nom *sta.Timing, die *Die, proc *tech.Process, opts TuneOptions) (*TuneResult, error) {
+	opts.setDefaults()
+	pl := rt.Placement()
+	dieTm, err := rt.Time(die)
+	if err != nil {
+		return nil, err
+	}
+	// dieTm is rt's reused buffer: every scalar needed after the next
+	// re-timing must be extracted now.
+	dieDcrit := dieTm.DcritPS
 	res := &TuneResult{
-		BetaActual:    dieTm.DcritPS/nom.DcritPS - 1,
-		DcritBeforePS: dieTm.DcritPS,
+		BetaActual:    dieDcrit/nom.DcritPS - 1,
+		DcritBeforePS: dieDcrit,
 		LeakBeforeNW:  die.LeakageNW(pl, proc, nil),
 	}
 	limit := nom.DcritPS * (1 + opts.SlackTolPct)
 
 	res.BetaSensed = opts.Sensor.MeasureBeta(nom, dieTm)
 	target := res.BetaSensed + opts.GuardbandPct
-	if dieTm.DcritPS <= limit && target <= 0 {
+	if dieDcrit <= limit && target <= 0 {
 		// Fast or nominal die: nothing to do.
 		res.Met = true
-		res.DcritAfterPS = dieTm.DcritPS
+		res.DcritAfterPS = dieDcrit
 		res.LeakAfterNW = res.LeakBeforeNW
 		return res, nil
 	}
@@ -115,11 +132,11 @@ func Tune(pl *place.Placement, nom *sta.Timing, die *Die, proc *tech.Process, op
 		if err != nil {
 			// Beyond the FBB compensation range.
 			res.Reason = err.Error()
-			res.DcritAfterPS = dieTm.DcritPS
+			res.DcritAfterPS = dieDcrit
 			res.LeakAfterNW = res.LeakBeforeNW
 			return res, nil
 		}
-		tuned, err := die.TimingWithBias(pl, proc, sol.Assign)
+		tuned, err := rt.TimeWithBias(die, proc, sol.Assign)
 		if err != nil {
 			return nil, err
 		}
@@ -167,24 +184,40 @@ func (y *YieldStats) YieldPct() (before, after float64) {
 // YieldStudy samples nDies from the model, tunes each, and aggregates the
 // yield and leakage statistics — the system-level experiment motivating the
 // paper ("bring the slow dies back to within the range of acceptable
-// specs"). Dies are tuned concurrently on a flow worker pool (opts.Workers
-// bounds it; default one per CPU) and cancelling ctx aborts the study; the
-// per-die seeds make the result independent of scheduling.
+// specs"). It builds the reusable STA analyzer itself; callers that already
+// hold one (e.g. a flow.Prefix) should use YieldStudyOn.
 func YieldStudy(ctx context.Context, pl *place.Placement, proc *tech.Process, m Model, nDies int, seed int64, opts TuneOptions) (*YieldStats, error) {
-	if nDies <= 0 {
-		return nil, errors.New("variation: nDies must be positive")
-	}
-	nom, err := sta.Analyze(pl, sta.Options{})
+	an, err := sta.NewAnalyzer(pl, sta.Options{})
 	if err != nil {
 		return nil, err
 	}
+	nom, err := an.Run(nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	return YieldStudyOn(ctx, an, nom, proc, m, nDies, seed, opts)
+}
+
+// YieldStudyOn runs the Monte-Carlo tuning study over a shared Analyzer and
+// its nominal timing. Dies are tuned concurrently on a flow worker pool
+// (opts.Workers bounds it; default one per CPU), each worker re-timing its
+// dies through a private Retimer over the shared Analyzer; cancelling ctx
+// aborts the study. Per-die seeds are mixed from the die index alone
+// (DieSeed), so the aggregated statistics are identical at any worker
+// count.
+func YieldStudyOn(ctx context.Context, an *sta.Analyzer, nom *sta.Timing, proc *tech.Process, m Model, nDies int, seed int64, opts TuneOptions) (*YieldStats, error) {
+	if nDies <= 0 {
+		return nil, errors.New("variation: nDies must be positive")
+	}
+	pl := an.Placement()
 	opts.setDefaults()
 	limit := nom.DcritPS * (1 + opts.SlackTolPct)
 
-	results, err := flow.Map(ctx, opts.Workers, nDies,
-		func(_ context.Context, i int) (*TuneResult, error) {
-			die := m.Sample(pl, proc, seed+int64(i)*7919)
-			return Tune(pl, nom, die, proc, opts)
+	results, err := flow.MapWith(ctx, opts.Workers, nDies,
+		func() *Retimer { return NewRetimer(an) },
+		func(_ context.Context, rt *Retimer, i int) (*TuneResult, error) {
+			die := m.Sample(pl, proc, DieSeed(seed, i))
+			return TuneOn(rt, nom, die, proc, opts)
 		})
 	if err != nil {
 		return nil, err

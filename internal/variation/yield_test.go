@@ -1,0 +1,137 @@
+package variation
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/sta"
+	"repro/internal/tech"
+)
+
+// TestYieldStudyParallelMatchesSequential pins the determinism fix: per-die
+// seeds are mixed from the die index alone, so the aggregated statistics
+// must be identical at any Workers setting (including the default
+// one-per-CPU pool).
+func TestYieldStudyParallelMatchesSequential(t *testing.T) {
+	pl := placed(t, "c1355")
+	proc := tech.Default45nm()
+	dies := 12
+	if !testing.Short() {
+		dies = 24
+	}
+	run := func(workers int) *YieldStats {
+		t.Helper()
+		st, err := YieldStudy(context.Background(), pl, proc, Default(), dies, 77,
+			TuneOptions{GuardbandPct: 0.005, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	seq := run(1)
+	for _, workers := range []int{2, 8, 0} {
+		if par := run(workers); *par != *seq {
+			t.Errorf("Workers=%d diverged from sequential:\nseq: %+v\npar: %+v",
+				workers, seq, par)
+		}
+	}
+}
+
+// TestTuneOnMatchesTune checks the Retimer-based tuning path against the
+// one-shot Tune for a population of dies sharing one Retimer (and thus one
+// dirty Timing buffer).
+func TestTuneOnMatchesTune(t *testing.T) {
+	pl := placed(t, "c1355")
+	proc := tech.Default45nm()
+	nom, err := sta.Analyze(pl, sta.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := sta.NewAnalyzer(pl, sta.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := NewRetimer(an)
+	m := Default()
+	opts := TuneOptions{GuardbandPct: 0.005}
+	for i := 0; i < 10; i++ {
+		die := m.Sample(pl, proc, DieSeed(5, i))
+		want, err := Tune(pl, nom, die, proc, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := TuneOn(rt, nom, die, proc, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want.BetaActual != got.BetaActual || want.BetaSensed != got.BetaSensed ||
+			want.Met != got.Met || want.Reason != got.Reason || want.Iters != got.Iters ||
+			want.DcritBeforePS != got.DcritBeforePS || want.DcritAfterPS != got.DcritAfterPS ||
+			want.LeakBeforeNW != got.LeakBeforeNW || want.LeakAfterNW != got.LeakAfterNW {
+			t.Fatalf("die %d: TuneOn diverged:\nwant %+v\ngot  %+v", i, want, got)
+		}
+		if (want.Solution == nil) != (got.Solution == nil) {
+			t.Fatalf("die %d: solution presence diverged", i)
+		}
+		if want.Solution != nil {
+			if len(want.Solution.Assign) != len(got.Solution.Assign) {
+				t.Fatalf("die %d: assignment lengths diverged", i)
+			}
+			for r := range want.Solution.Assign {
+				if want.Solution.Assign[r] != got.Solution.Assign[r] {
+					t.Fatalf("die %d: assignment diverged at row %d", i, r)
+				}
+			}
+		}
+	}
+}
+
+// TestRecoverLeakageOnMatches checks the Retimer-based RBB scan against the
+// one-shot RecoverLeakage across a shared buffer.
+func TestRecoverLeakageOnMatches(t *testing.T) {
+	pl := placed(t, "c1355")
+	proc := tech.Default45nm()
+	nom, err := sta.Analyze(pl, sta.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := sta.NewAnalyzer(pl, sta.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := NewRetimer(an)
+	m := Default()
+	for i := 0; i < 8; i++ {
+		die := m.Sample(pl, proc, DieSeed(31, i))
+		want, err := RecoverLeakage(pl, nom, die, proc, RBBOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := RecoverLeakageOn(rt, nom, die, proc, RBBOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if *want != *got {
+			t.Fatalf("die %d: RecoverLeakageOn diverged:\nwant %+v\ngot  %+v", i, want, got)
+		}
+	}
+}
+
+// TestDieSeedProperties: index-derived, seed-sensitive, and collision-free
+// over a realistic population.
+func TestDieSeedProperties(t *testing.T) {
+	seen := map[int64]bool{}
+	for i := 0; i < 10000; i++ {
+		s := DieSeed(1, i)
+		if seen[s] {
+			t.Fatalf("die seed collision at index %d", i)
+		}
+		seen[s] = true
+	}
+	if DieSeed(1, 5) != DieSeed(1, 5) {
+		t.Error("DieSeed not deterministic")
+	}
+	if DieSeed(1, 5) == DieSeed(2, 5) {
+		t.Error("DieSeed ignores the study seed")
+	}
+}
