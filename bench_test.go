@@ -415,6 +415,29 @@ func BenchmarkComponentCheckTiming(b *testing.B) {
 	}
 }
 
+// BenchmarkComponentAllocatorSolveAt tracks the batched allocation engine
+// on the paper's in-text design: one shared core.Allocator, one reused
+// Instance, a full materialize + heuristic solve per iteration (the unit of
+// work every tuning-loop escalation and every experiment grid cell pays).
+func BenchmarkComponentAllocatorSolveAt(b *testing.B) {
+	pfx, err := flow.New().Prefix("c5315", 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := core.Options{Beta: 0.05, MaxClusters: 3}
+	_, inst, err := pfx.Allocator.SolveAt(opts, nil, nil) // warm the buffers
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := pfx.Allocator.SolveAt(opts, nil, inst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkComponentLogicSim(b *testing.B) {
 	lib := cell.Default()
 	d, err := gen.Build("c6288", lib)

@@ -7,10 +7,14 @@
 // (-parallel bounds it; 0 = one per CPU) and the reports print in input
 // order.
 //
+// -solver selects the allocation engine for the primary result row: the
+// paper's two-pass heuristic (default), the exact ILP, or the local-search
+// portfolio ("local") that trades a little runtime for better allocations.
+//
 // Usage:
 //
-//	fbbflow -bench c5315 -beta 0.05 -c 3 [-ilp] [-ilp-timeout 30s]
-//	        [-parallel 0] [-ascii]
+//	fbbflow -bench c5315 -beta 0.05 -c 3 [-solver heuristic] [-ilp]
+//	        [-ilp-timeout 30s] [-parallel 0] [-ascii]
 package main
 
 import (
@@ -45,6 +49,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		bench      = fs.String("bench", "c5315", "comma-separated benchmark names, or \"all\" ("+strings.Join(repro.Benchmarks(), ", ")+")")
 		beta       = fs.Float64("beta", 0.05, "slowdown coefficient to compensate")
 		c          = fs.Int("c", 3, "maximum clusters (incl. no-body-bias)")
+		solver     = fs.String("solver", "heuristic", "allocation engine ("+strings.Join(core.SolverNames(), ", ")+")")
 		runILP     = fs.Bool("ilp", false, "also run the exact ILP allocator")
 		ilpTimeout = fs.Duration("ilp-timeout", 30*time.Second, "ILP time budget")
 		parallel   = fs.Int("parallel", 0, "concurrent benchmark flows (0 = one per CPU, 1 = sequential)")
@@ -75,6 +80,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 				Benchmark:    strings.TrimSpace(benches[i]),
 				Beta:         *beta,
 				MaxClusters:  *c,
+				Solver:       *solver,
 				RunILP:       *runILP,
 				ILPTimeLimit: *ilpTimeout,
 			})
@@ -138,7 +144,7 @@ func printResult(w io.Writer, res *repro.Result, beta float64, runILP, ascii, ti
 		)
 	}
 	add("single-BB", res.Single, 0)
-	add("heuristic", res.Heuristic, res.HeuristicTime)
+	add(res.SolverName, res.Heuristic, res.HeuristicTime)
 	if res.ILP != nil {
 		add("ILP("+res.ILPStatus+")", res.ILP, res.ILPTime)
 	} else if runILP {

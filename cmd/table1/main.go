@@ -4,6 +4,8 @@
 //
 // The ILP is skipped on designs above -ilp-gates (the paper likewise reports
 // no ILP results for Industrial2/3, where lp_solve did not converge).
+// -solver swaps the allocation engine behind the non-ILP columns (e.g.
+// "local" re-evaluates the table with the local-search portfolio solver).
 //
 // Cells run on the flow engine: each benchmark's gen->place->STA prefix is
 // computed once and shared across all (beta, C) points, and -parallel bounds
@@ -18,7 +20,7 @@
 //
 // Usage:
 //
-//	table1 [-benchmarks c1355,c3540] [-betas 0.05,0.10]
+//	table1 [-benchmarks c1355,c3540] [-betas 0.05,0.10] [-solver heuristic]
 //	       [-ilp-timeout 20s] [-ilp-gates 5000] [-parallel 0] [-csv]
 package main
 
@@ -33,6 +35,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/core"
 	"repro/internal/report"
 )
 
@@ -51,6 +54,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		betaList   = fs.String("betas", "0.05,0.10", "comma-separated slowdown coefficients")
 		ilpTimeout = fs.Duration("ilp-timeout", 20*time.Second, "ILP time budget per instance")
 		ilpGates   = fs.Int("ilp-gates", 5000, "skip the ILP above this gate count")
+		solver     = fs.String("solver", "heuristic", "allocation engine for the non-ILP columns ("+strings.Join(core.SolverNames(), ", ")+")")
 		parallel   = fs.Int("parallel", 0, "concurrent table cells (0 = one per CPU, 1 = sequential)")
 		csv        = fs.Bool("csv", false, "emit CSV")
 	)
@@ -64,6 +68,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	opts := repro.Table1Options{
 		ILPTimeLimit: *ilpTimeout,
 		ILPGateLimit: *ilpGates,
+		Solver:       *solver,
 	}
 	if *benchList != "" {
 		opts.Benchmarks = strings.Split(*benchList, ",")

@@ -18,6 +18,7 @@ import (
 	"os"
 
 	"repro"
+	"repro/internal/core"
 	"repro/internal/report"
 	"repro/internal/sta"
 	"repro/internal/tech"
@@ -49,13 +50,18 @@ func run(args []string, stdout, stderr io.Writer) error {
 	model := variation.Default()
 	die := model.Sample(pl, proc, 11)
 
-	// One reusable analyzer serves every checkpoint's re-tuning — the
-	// batched form the periodic re-tuning controller would run on-line.
+	// One reusable analyzer and allocation engine serve every checkpoint's
+	// re-tuning — the batched form the periodic re-tuning controller would
+	// run on-line.
 	an, err := sta.NewAnalyzer(pl, sta.Options{})
 	if err != nil {
 		return err
 	}
-	rt := variation.NewRetimer(an)
+	al, err := core.NewAllocator(pl, nom)
+	if err != nil {
+		return err
+	}
+	tn := variation.NewTuner(variation.NewRetimer(an), al)
 
 	fmt.Fprintf(stdout, "%s: nominal Dcrit %.0f ps; one die followed over 10 years\n\n",
 		*bench, nom.DcritPS)
@@ -74,7 +80,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		for g := range aged.DelayScale {
 			aged.DelayScale[g] = hotProc.DelayFactorDVth(aged.DVthV[g])
 		}
-		r, err := variation.TuneOn(rt, nom, aged, hotProc, variation.TuneOptions{
+		r, err := variation.TuneOn(tn, nom, aged, hotProc, variation.TuneOptions{
 			GuardbandPct: 0.005,
 		})
 		if err != nil {

@@ -6,6 +6,7 @@
 // acceptable specs"). Run with:
 //
 //	go run ./examples/yieldtuning [-bench c1355] [-dies 200] [-seed 1]
+//	                              [-solver heuristic]
 package main
 
 import (
@@ -17,8 +18,10 @@ import (
 	"log"
 	"os"
 	"strings"
+	"time"
 
 	"repro"
+	"repro/internal/core"
 	"repro/internal/place"
 	"repro/internal/sta"
 	"repro/internal/tech"
@@ -35,9 +38,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("yieldtuning", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		bench = fs.String("bench", "c1355", "benchmark name")
-		dies  = fs.Int("dies", 200, "Monte-Carlo population size")
-		seed  = fs.Int64("seed", 1, "sampling seed")
+		bench  = fs.String("bench", "c1355", "benchmark name")
+		dies   = fs.Int("dies", 200, "Monte-Carlo population size")
+		seed   = fs.Int64("seed", 1, "sampling seed")
+		solver = fs.String("solver", "heuristic", "allocation engine ("+strings.Join(core.SolverNames(), ", ")+")")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -66,8 +70,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 
+	s, err := core.NewNamedSolver(*solver)
+	if err != nil {
+		return err
+	}
+	if ilps, ok := s.(*core.ILPSolver); ok {
+		// An unbounded exact solve per escalation per die would run for
+		// hours; give it the budget the experiment drivers use.
+		ilps.Opts.TimeLimit = 10 * time.Second
+	}
 	st, err := variation.YieldStudy(context.Background(), pl, proc, model, *dies, *seed,
-		variation.TuneOptions{GuardbandPct: 0.005})
+		variation.TuneOptions{GuardbandPct: 0.005, Solver: s})
 	if err != nil {
 		return err
 	}

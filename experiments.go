@@ -81,6 +81,11 @@ type Table1Options struct {
 	// ILPGateLimit skips the ILP on larger designs, reproducing the
 	// paper's missing entries for Industrial2/3 (default 5000 gates).
 	ILPGateLimit int
+	// Solver names the registered allocation engine for the table's
+	// non-ILP columns ("" = "heuristic"; e.g. "local" re-evaluates the
+	// table with the portfolio solver). The exact columns always use the
+	// ILP, warm-started from this solver's solution.
+	Solver string
 }
 
 // Table1Row is one line of Table 1.
@@ -170,6 +175,7 @@ func table1Cell(e *flow.Engine, name string, beta float64, opts Table1Options) T
 			Benchmark:   name,
 			Beta:        beta,
 			MaxClusters: c,
+			Solver:      opts.Solver,
 			SkipLayout:  true,
 		})
 		if err != nil {
@@ -418,15 +424,17 @@ func MultiBlock(names []string, betas []float64) (*MultiBlockResult, error) {
 
 // Yield runs the Monte-Carlo post-silicon tuning study on a benchmark,
 // tuning dies concurrently on r's worker pool over the cached placement.
-// The prefix cache supplies both the nominal timing and the reusable STA
-// analyzer, so each die re-times without rebuilding the timing graph.
+// The prefix cache supplies the nominal timing, the reusable STA analyzer,
+// and the reusable allocation engine, so each die re-times without
+// rebuilding the timing graph and re-allocates without rebuilding the
+// clustering problem.
 func (r *Runner) Yield(name string, dies int, seed int64) (*variation.YieldStats, error) {
 	pfx, err := r.eng.Prefix(name, 0)
 	if err != nil {
 		return nil, err
 	}
-	return variation.YieldStudyOn(r.context(), pfx.Analyzer, pfx.Timing, tech.Default45nm(),
-		variation.Default(), dies, seed,
+	return variation.YieldStudyOn(r.context(), pfx.Analyzer, pfx.Allocator, pfx.Timing,
+		tech.Default45nm(), variation.Default(), dies, seed,
 		variation.TuneOptions{GuardbandPct: 0.005, Workers: r.parallel})
 }
 

@@ -136,6 +136,28 @@ func TestAllocatorsAgainstExhaustiveEnumeration(t *testing.T) {
 			t.Fatalf("trial %d: heuristic %f beats the oracle optimum %f", trial, h.ExtraLeakNW, want)
 		}
 
+		// Local search: feasible, within caps, and bracketed by the
+		// oracle optimum below and the single-BB baseline above; nothing
+		// tighter is guaranteed, but it must never "beat" an exhaustive
+		// enumeration.
+		ls, err := (&LocalSolver{Seed: 7}).solveProblem(p)
+		if err != nil {
+			t.Fatalf("trial %d: local solver failed on feasible instance: %v", trial, err)
+		}
+		if !p.CheckTiming(ls.Assign) {
+			t.Fatalf("trial %d: local solution infeasible", trial)
+		}
+		if Clusters(ls.Assign) > p.MaxClusters || BiasPairs(ls.Assign) > p.MaxBiasPairs {
+			t.Fatalf("trial %d: local solution breaks caps (%d clusters, %d pairs)",
+				trial, Clusters(ls.Assign), BiasPairs(ls.Assign))
+		}
+		if ls.ExtraLeakNW < want-1e-6 {
+			t.Fatalf("trial %d: local %f beats the oracle optimum %f", trial, ls.ExtraLeakNW, want)
+		}
+		if ls.ExtraLeakNW > single.ExtraLeakNW+1e-9 {
+			t.Fatalf("trial %d: local %f above single BB %f", trial, ls.ExtraLeakNW, single.ExtraLeakNW)
+		}
+
 		// ILP: must match the oracle exactly.
 		sol, res, err := p.SolveILP(ILPOptions{TimeLimit: 60 * time.Second, WarmStart: h})
 		if err != nil {

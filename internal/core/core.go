@@ -91,14 +91,17 @@ type Problem struct {
 	// Involved marks rows contributing to at least one constraint.
 	Involved []bool
 
-	// rowCons[i] lists (constraint index, position in Rows) per row, for
-	// incremental timing checks.
-	rowCons [][]rowConRef
+	// rowConsStart/rowConsRefs index, in CSR form, the (constraint,
+	// position) pairs each row contributes to, for incremental timing
+	// checks: row i's references are rowConsRefs[rowConsStart[i]:
+	// rowConsStart[i+1]].
+	rowConsStart []int32
+	rowConsRefs  []rowConRef
 }
 
 type rowConRef struct {
-	k   int // constraint index
-	pos int // index into Constraints[k].Rows
+	k   int32 // constraint index
+	pos int32 // index into Constraints[k].Rows
 }
 
 // Options configure problem construction.
@@ -112,25 +115,35 @@ type Options struct {
 	MaxBiasPairs int
 }
 
+// normalize applies the defaults and validates the options; BuildProblem and
+// Allocator.At share it so both construction paths accept exactly the same
+// inputs.
+func (o *Options) normalize() error {
+	if o.Beta <= 0 {
+		return errors.New("core: beta must be positive")
+	}
+	if o.MaxClusters == 0 {
+		o.MaxClusters = 3
+	}
+	if o.MaxClusters < 1 {
+		return errors.New("core: MaxClusters must be >= 1")
+	}
+	if o.MaxBiasPairs == 0 {
+		o.MaxBiasPairs = 2
+	}
+	if o.MaxBiasPairs < 1 {
+		return errors.New("core: MaxBiasPairs must be >= 1")
+	}
+	return nil
+}
+
 // BuildProblem constructs the clustering instance from a placed, timed
 // design: computes the L_ij leakage table, extracts the violating paths
 // under beta, groups their cells by row into the a_ijk coefficients, and
 // merges duplicate constraints keeping the tightest requirement.
 func BuildProblem(pl *place.Placement, tm *sta.Timing, opts Options) (*Problem, error) {
-	if opts.Beta <= 0 {
-		return nil, errors.New("core: beta must be positive")
-	}
-	if opts.MaxClusters == 0 {
-		opts.MaxClusters = 3
-	}
-	if opts.MaxClusters < 1 {
-		return nil, errors.New("core: MaxClusters must be >= 1")
-	}
-	if opts.MaxBiasPairs == 0 {
-		opts.MaxBiasPairs = 2
-	}
-	if opts.MaxBiasPairs < 1 {
-		return nil, errors.New("core: MaxBiasPairs must be >= 1")
+	if err := opts.normalize(); err != nil {
+		return nil, err
 	}
 	grid := pl.Lib.Grid
 	p := &Problem{
@@ -205,14 +218,55 @@ func BuildProblem(pl *place.Placement, tm *sta.Timing, opts Options) (*Problem, 
 	}
 
 	// Row-to-constraint index and involvement flags.
-	p.rowCons = make([][]rowConRef, p.N)
-	for k := range p.Constraints {
-		for pos, rc := range p.Constraints[k].Rows {
-			p.Involved[rc.Row] = true
-			p.rowCons[rc.Row] = append(p.rowCons[rc.Row], rowConRef{k: k, pos: pos})
+	p.rowConsStart, p.rowConsRefs = buildRowCons(p.N, p.Constraints, p.Involved, nil, nil)
+	return p, nil
+}
+
+// buildRowCons constructs the CSR row-to-constraint index and the
+// involvement flags, reusing startBuf/refsBuf when they have capacity. The
+// involved slice must already be sized N and zeroed.
+func buildRowCons(n int, constraints []PathConstraint, involved []bool, startBuf []int32, refsBuf []rowConRef) ([]int32, []rowConRef) {
+	start := startBuf
+	if cap(start) < n+1 {
+		start = make([]int32, n+1)
+	}
+	start = start[:n+1]
+	for i := range start {
+		start[i] = 0
+	}
+	total := 0
+	for k := range constraints {
+		for _, rc := range constraints[k].Rows {
+			involved[rc.Row] = true
+			start[rc.Row+1]++
+			total++
 		}
 	}
-	return p, nil
+	for i := 0; i < n; i++ {
+		start[i+1] += start[i]
+	}
+	refs := refsBuf
+	if cap(refs) < total {
+		refs = make([]rowConRef, total)
+	}
+	refs = refs[:total]
+	// fill using start as a moving cursor, then restore it.
+	for k := range constraints {
+		for pos, rc := range constraints[k].Rows {
+			refs[start[rc.Row]] = rowConRef{k: int32(k), pos: int32(pos)}
+			start[rc.Row]++
+		}
+	}
+	for i := n; i > 0; i-- {
+		start[i] = start[i-1]
+	}
+	start[0] = 0
+	return start, refs
+}
+
+// rowCons returns row i's constraint references.
+func (p *Problem) rowCons(i int) []rowConRef {
+	return p.rowConsRefs[p.rowConsStart[i]:p.rowConsStart[i+1]]
 }
 
 // NumConstraints returns M, the paper's "No.Constr".
@@ -276,20 +330,54 @@ type Solution struct {
 	Proven bool
 }
 
+// Clone returns a deep copy of the solution, detaching it from any scratch
+// buffers it may live in (Instance-owned solutions are invalidated by the
+// next solve; clone what must outlive it).
+func (s *Solution) Clone() *Solution {
+	c := *s
+	c.Assign = append([]int(nil), s.Assign...)
+	return &c
+}
+
 // solutionFor packages an assignment.
 func (p *Problem) solutionFor(assign []int, method string, proven bool) (*Solution, error) {
-	extra, err := power.AssignExtraLeakageNW(p.Pl, assign)
-	if err != nil {
+	sol := &Solution{}
+	if err := p.fillSolution(sol, nil, assign, method, proven); err != nil {
 		return nil, err
 	}
-	return &Solution{
-		Assign:      append([]int(nil), assign...),
-		ExtraLeakNW: extra,
-		TotalLeakNW: power.DesignLeakageNW(p.Pl.Design) + extra,
-		Clusters:    Clusters(assign),
-		Method:      method,
-		Proven:      proven,
-	}, nil
+	return sol, nil
+}
+
+// fillSolution populates sol from assign, reusing sol's Assign buffer and,
+// when non-nil, levelSeen (len >= P, contents ignored) as cluster-count
+// scratch, so a warmed-up caller fills without allocating.
+func (p *Problem) fillSolution(sol *Solution, levelSeen []bool, assign []int, method string, proven bool) error {
+	extra, err := power.AssignExtraLeakageNW(p.Pl, assign)
+	if err != nil {
+		return err
+	}
+	clusters := 0
+	if levelSeen != nil {
+		seen := levelSeen[:p.P]
+		for j := range seen {
+			seen[j] = false
+		}
+		for _, j := range assign {
+			if !seen[j] {
+				seen[j] = true
+				clusters++
+			}
+		}
+	} else {
+		clusters = Clusters(assign)
+	}
+	sol.Assign = append(sol.Assign[:0], assign...)
+	sol.ExtraLeakNW = extra
+	sol.TotalLeakNW = power.DesignLeakageNW(p.Pl.Design) + extra
+	sol.Clusters = clusters
+	sol.Method = method
+	sol.Proven = proven
+	return nil
 }
 
 // VbsOf returns the bias voltages (NMOS side) of the clusters used by a

@@ -6,12 +6,48 @@ import (
 	"sort"
 )
 
-// PassOne finds the lowest uniform bias level meeting timing: assign every
-// row to level j for increasing j and check timing (the paper's Figure 5,
-// PASSONE). The result is jopt; the corresponding uniform assignment is the
-// block-level "single BB" baseline of Table 1.
-func (p *Problem) PassOne() (int, error) {
-	assign := make([]int, p.N)
+// heurScratch holds every buffer the two-pass heuristic (and the single-BB
+// baseline) needs, so repeated solves on one Instance allocate nothing. The
+// zero value is valid: buffers grow on first use and are reused afterwards.
+// All content is rewritten by each solve; only capacity carries over.
+type heurScratch struct {
+	assign    []int
+	ct        []float64
+	order     []int
+	sigma     []float64
+	levelSeen []bool
+	levels    []int
+	rows      []int
+	sorter    ctSorter
+	sol       Solution
+	solSingle Solution
+}
+
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func growBools(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
+}
+
+// passOneInto is PassOne writing the winning uniform assignment into assign
+// (len N): on success assign is uniformly jopt, exactly the starting point
+// PassTwo wants.
+func (p *Problem) passOneInto(assign []int) (int, error) {
 	for j := 0; j < p.P; j++ {
 		for i := range assign {
 			assign[i] = j
@@ -24,17 +60,38 @@ func (p *Problem) PassOne() (int, error) {
 		"(design slowed beyond the FBB compensation range)", p.Beta*100)
 }
 
+// PassOne finds the lowest uniform bias level meeting timing: assign every
+// row to level j for increasing j and check timing (the paper's Figure 5,
+// PASSONE). The result is jopt; the corresponding uniform assignment is the
+// block-level "single BB" baseline of Table 1.
+func (p *Problem) PassOne() (int, error) {
+	return p.passOneInto(make([]int, p.N))
+}
+
 // SingleBB returns the block-level single-voltage baseline: all rows at jopt.
 func (p *Problem) SingleBB() (*Solution, error) {
-	jopt, err := p.PassOne()
+	var s heurScratch
+	sol, err := p.singleBBScratch(&s)
 	if err != nil {
 		return nil, err
 	}
-	assign := make([]int, p.N)
-	for i := range assign {
-		assign[i] = jopt
+	return sol.Clone(), nil
+}
+
+// singleBBScratch is SingleBB on reusable buffers; the returned Solution is
+// s.solSingle — a slot separate from the heuristic's, so a baseline and one
+// later heuristic solve may coexist — and is invalidated by the next
+// singleBBScratch call on the same scratch.
+func (p *Problem) singleBBScratch(s *heurScratch) (*Solution, error) {
+	s.assign = growInts(s.assign, p.N)
+	if _, err := p.passOneInto(s.assign); err != nil {
+		return nil, err
 	}
-	return p.solutionFor(assign, "single-bb", true)
+	s.levelSeen = growBools(s.levelSeen, p.P)
+	if err := p.fillSolution(&s.solSingle, s.levelSeen, s.assign, "single-bb", true); err != nil {
+		return nil, err
+	}
+	return &s.solSingle, nil
 }
 
 // RowCriticality returns the paper's timing-criticality coefficient per row:
@@ -42,8 +99,14 @@ func (p *Problem) SingleBB() (*Solution, error) {
 // cells in row i and the slack is taken under the degraded timing (floored
 // at one picosecond so violating paths dominate the ranking).
 func (p *Problem) RowCriticality() []float64 {
+	return p.rowCriticalityInto(make([]float64, p.N))
+}
+
+func (p *Problem) rowCriticalityInto(ct []float64) []float64 {
 	const minSlackPS = 1.0
-	ct := make([]float64, p.N)
+	for i := range ct {
+		ct[i] = 0
+	}
 	for _, path := range p.Tm.Paths {
 		slack := p.Tm.DcritPS - path.DelayPS*(1+p.Beta)
 		if slack < minSlackPS {
@@ -57,6 +120,19 @@ func (p *Problem) RowCriticality() []float64 {
 	return ct
 }
 
+// ctSorter stable-sorts a row order by ascending criticality without the
+// closure and reflection allocations of sort.SliceStable (a stable sort's
+// output is fully determined by the keys, so swapping the sort
+// implementation cannot change the result).
+type ctSorter struct {
+	order []int
+	key   []float64
+}
+
+func (s *ctSorter) Len() int           { return len(s.order) }
+func (s *ctSorter) Less(a, b int) bool { return s.key[s.order[a]] < s.key[s.order[b]] }
+func (s *ctSorter) Swap(a, b int)      { s.order[a], s.order[b] = s.order[b], s.order[a] }
+
 // timingState evaluates constraints incrementally as rows move between
 // levels, making each heuristic step O(paths touching the row) instead of
 // O(all constraints).
@@ -68,9 +144,21 @@ type timingState struct {
 }
 
 func (p *Problem) newTimingState(assign []int) *timingState {
-	st := &timingState{p: p, assign: assign, sigma: make([]float64, len(p.Constraints))}
+	st := &timingState{}
+	p.initTimingState(st, assign, make([]float64, len(p.Constraints)))
+	return st
+}
+
+// initTimingState readies st over assign using sigma (len = constraints) as
+// the accumulator buffer.
+func (p *Problem) initTimingState(st *timingState, assign []int, sigma []float64) {
+	st.p = p
+	st.assign = assign
+	st.sigma = sigma
+	st.violated = 0
 	for k := range p.Constraints {
 		c := &p.Constraints[k]
+		st.sigma[k] = 0
 		for _, rc := range c.Rows {
 			st.sigma[k] += rc.DeltaPS[assign[rc.Row]]
 		}
@@ -78,7 +166,6 @@ func (p *Problem) newTimingState(assign []int) *timingState {
 			st.violated++
 		}
 	}
-	return st
 }
 
 // move reassigns one row and updates the violation count.
@@ -88,7 +175,7 @@ func (st *timingState) move(row, to int) {
 		return
 	}
 	st.assign[row] = to
-	for _, ref := range st.p.rowCons[row] {
+	for _, ref := range st.p.rowCons(row) {
 		c := &st.p.Constraints[ref.k]
 		rc := &c.Rows[ref.pos]
 		before := st.sigma[ref.k]
@@ -133,32 +220,74 @@ func (p *Problem) SolveHeuristic() (*Solution, error) {
 
 // SolveHeuristicOpts is SolveHeuristic with ablation toggles.
 func (p *Problem) SolveHeuristicOpts(hopts HeuristicOptions) (*Solution, error) {
-	jopt, err := p.PassOne()
+	var s heurScratch
+	sol, err := p.solveHeuristicScratch(&s, hopts)
 	if err != nil {
 		return nil, err
 	}
-	assign := make([]int, p.N)
-	for i := range assign {
-		assign[i] = jopt
+	return sol.Clone(), nil
+}
+
+// solveHeuristicScratch is the single implementation of the two-pass
+// heuristic, running entirely on s's reusable buffers; Problem.SolveHeuristic
+// and Instance solves both route here, so they cannot diverge. The returned
+// Solution is s.sol, invalidated by the next solve on the same scratch.
+func (p *Problem) solveHeuristicScratch(s *heurScratch, hopts HeuristicOptions) (*Solution, error) {
+	s.assign = growInts(s.assign, p.N)
+	s.levelSeen = growBools(s.levelSeen, p.P)
+	assign := s.assign
+	jopt, err := p.passOneInto(assign)
+	if err != nil {
+		return nil, err
 	}
 	if jopt == 0 {
 		// Nothing to compensate; a single NBB cluster.
-		return p.solutionFor(assign, "heuristic", false)
+		if err := p.fillSolution(&s.sol, s.levelSeen, assign, "heuristic", false); err != nil {
+			return nil, err
+		}
+		return &s.sol, nil
 	}
 
 	// Rank rows by increasing criticality (least critical dropped first).
-	ct := p.RowCriticality()
-	order := make([]int, p.N)
+	s.ct = growFloats(s.ct, p.N)
+	ct := p.rowCriticalityInto(s.ct)
+	s.order = growInts(s.order, p.N)
+	order := s.order
 	for i := range order {
 		order[i] = i
 	}
-	sort.SliceStable(order, func(a, b int) bool { return ct[order[a]] < ct[order[b]] })
+	s.sorter.order, s.sorter.key = order, ct
+	sort.Stable(&s.sorter)
 
-	st := p.newTimingState(assign)
+	s.sigma = growFloats(s.sigma, len(p.Constraints))
+	var st timingState
+	p.initTimingState(&st, assign, s.sigma)
 	if !st.feasible() {
 		return nil, errors.New("core: PassOne solution fails incremental check")
 	}
 
+	p.walkDown(&st, order, jopt)
+
+	if !st.feasible() {
+		return nil, errors.New("core: heuristic produced an infeasible assignment")
+	}
+	if !hopts.SkipReconcile {
+		p.reconcilePairs(&st, assign, s)
+	}
+	if !hopts.SkipRefine {
+		p.refineDown(&st, assign, s)
+	}
+	if err := p.fillSolution(&s.sol, s.levelSeen, assign, "heuristic", false); err != nil {
+		return nil, err
+	}
+	return &s.sol, nil
+}
+
+// walkDown is the PassTwo level walk: rows are dropped in `order` (least
+// critical first) one level at a time; the first failing drop per level is
+// reverted and locks the remaining rows as a cluster. It truncates order in
+// place (the unlocked suffix shrinks as clusters lock).
+func (p *Problem) walkDown(st *timingState, order []int, jopt int) {
 	unlocked := order
 	lockEvents := 0
 	for level := jopt; level >= 1 && len(unlocked) > 0; level-- {
@@ -176,8 +305,7 @@ func (p *Problem) SolveHeuristicOpts(hopts HeuristicOptions) (*Solution, error) 
 			}
 			continue
 		}
-		var moved []int
-		lockedHere := false
+		cut := len(unlocked)
 		for idx, r := range unlocked {
 			st.move(r, level-1)
 			if !st.feasible() {
@@ -185,26 +313,12 @@ func (p *Problem) SolveHeuristicOpts(hopts HeuristicOptions) (*Solution, error) 
 				// Rows idx.. are more critical; lock them at
 				// this level as one cluster.
 				lockEvents++
-				lockedHere = true
-				_ = idx
+				cut = idx
 				break
 			}
-			moved = append(moved, r)
 		}
-		unlocked = moved
-		_ = lockedHere
+		unlocked = unlocked[:cut]
 	}
-
-	if !st.feasible() {
-		return nil, errors.New("core: heuristic produced an infeasible assignment")
-	}
-	if !hopts.SkipReconcile {
-		p.reconcilePairs(st, assign)
-	}
-	if !hopts.SkipRefine {
-		p.refineDown(st, assign)
-	}
-	return p.solutionFor(assign, "heuristic", false)
 }
 
 // refineDown is a cleanup sweep after the greedy walk: every row retries the
@@ -213,17 +327,10 @@ func (p *Problem) SolveHeuristicOpts(hopts HeuristicOptions) (*Solution, error) 
 // appear), and tends to collapse isolated biased rows, which also trims the
 // layout's well-separation boundaries. Two sweeps suffice in practice; the
 // loop stops at the first sweep with no improvement.
-func (p *Problem) refineDown(st *timingState, assign []int) {
+func (p *Problem) refineDown(st *timingState, assign []int, s *heurScratch) {
+	s.levelSeen = growBools(s.levelSeen, p.P)
 	for sweep := 0; sweep < 4; sweep++ {
-		inUse := map[int]struct{}{}
-		for _, j := range assign {
-			inUse[j] = struct{}{}
-		}
-		levels := make([]int, 0, len(inUse))
-		for j := range inUse {
-			levels = append(levels, j)
-		}
-		sort.Ints(levels)
+		levels := p.levelsInUse(assign, s)
 		improved := false
 		for r := 0; r < p.N; r++ {
 			for _, j := range levels {
@@ -245,38 +352,61 @@ func (p *Problem) refineDown(st *timingState, assign []int) {
 	}
 }
 
+// levelsInUse collects the distinct levels of assign, ascending, into s's
+// reusable buffers.
+func (p *Problem) levelsInUse(assign []int, s *heurScratch) []int {
+	s.levelSeen = growBools(s.levelSeen, p.P)
+	seen := s.levelSeen
+	for j := range seen {
+		seen[j] = false
+	}
+	for _, j := range assign {
+		seen[j] = true
+	}
+	s.levels = s.levels[:0]
+	for j := 0; j < p.P; j++ {
+		if seen[j] {
+			s.levels = append(s.levels, j)
+		}
+	}
+	return s.levels
+}
+
 // reconcilePairs enforces the routing cap of section 3.3: at most
 // MaxBiasPairs distinct non-NBB levels. When the greedy walk strands an
 // extra cluster above NBB, its rows are dropped to NBB if timing allows and
 // otherwise promoted to the next higher level in use — always feasible,
 // since more bias only adds slack.
-func (p *Problem) reconcilePairs(st *timingState, assign []int) {
+func (p *Problem) reconcilePairs(st *timingState, assign []int, s *heurScratch) {
 	for {
-		levels := map[int][]int{}
-		for row, j := range assign {
-			if j != 0 {
-				levels[j] = append(levels[j], row)
-			}
+		levels := p.levelsInUse(assign, s)
+		pairs := len(levels)
+		if pairs > 0 && levels[0] == 0 {
+			pairs--
 		}
-		if len(levels) <= p.MaxBiasPairs {
+		if pairs <= p.MaxBiasPairs {
 			return
 		}
-		lowest := -1
-		for j := range levels {
-			if lowest < 0 || j < lowest {
-				lowest = j
-			}
+		lowest := levels[0]
+		if lowest == 0 {
+			lowest = levels[1]
 		}
-		rows := levels[lowest]
 		next := 0
-		for j := range levels {
-			if j > lowest && (next == 0 || j < next) {
+		for _, j := range levels {
+			if j > lowest {
 				next = j
+				break
 			}
 		}
 		// Row by row: drop to NBB when timing allows (free), otherwise
 		// promote to the next level in use (small extra leakage).
-		for _, r := range rows {
+		s.rows = s.rows[:0]
+		for row, j := range assign {
+			if j == lowest {
+				s.rows = append(s.rows, row)
+			}
+		}
+		for _, r := range s.rows {
 			st.move(r, 0)
 			if !st.feasible() {
 				st.move(r, next)

@@ -177,20 +177,39 @@ func (p *Problem) warmVector(m *ilp.Model, inv []int, s *Solution) ([]float64, f
 	return x, obj, true
 }
 
+// NoIncumbentError reports an exact solve that ended without any feasible
+// incumbent: the node or time budget expired before branch and bound found
+// an integer point (ilp.NoSolution), or the relaxation was unbounded. It
+// replaces the historical (nil, res, nil) return, which handed callers a
+// silent nil Solution to dereference.
+type NoIncumbentError struct {
+	Status ilp.Status
+	Beta   float64
+}
+
+func (e *NoIncumbentError) Error() string {
+	return fmt.Sprintf("core: ILP ended %s with no incumbent at beta=%.1f%%",
+		e.Status, e.Beta*100)
+}
+
 // SolveILP runs the exact allocator. When the budget expires with an
-// incumbent, the returned solution carries Proven=false; with no incumbent
-// at all the solution is nil (the paper's "-" entries), and the ilp.Result
+// incumbent, the returned solution carries Proven=false. When branch and
+// bound ends with no incumbent at all, the warm-start solution (when given)
+// is returned with Proven=false — it is feasible, just unimproved — and
+// otherwise the error is a *NoIncumbentError; either way the ilp.Result
 // still reports the explored nodes and bound.
 func (p *Problem) SolveILP(opts ILPOptions) (*Solution, *ilp.Result, error) {
 	m, inv := p.BuildILP()
 	var iopts ilp.Options
 	iopts.TimeLimit = opts.TimeLimit
 	iopts.NodeLimit = opts.NodeLimit
+	warmOK := false
 	if opts.WarmStart != nil {
 		if x, obj, ok := p.warmVector(m, inv, opts.WarmStart); ok {
 			iopts.HasWarm = true
 			iopts.WarmX = x
 			iopts.WarmObj = obj
+			warmOK = true
 		}
 	}
 	res, err := ilp.Solve(m, iopts)
@@ -201,7 +220,15 @@ func (p *Problem) SolveILP(opts ILPOptions) (*Solution, *ilp.Result, error) {
 	case ilp.InfeasibleProven:
 		return nil, &res, fmt.Errorf("core: ILP infeasible at beta=%.1f%%", p.Beta*100)
 	case ilp.NoSolution, ilp.RelaxUnbounded:
-		return nil, &res, nil
+		// A warm start that fit the caps is a feasible incumbent even when
+		// branch and bound never improved on it; one that did not fit (or
+		// none at all) leaves nothing to return.
+		if warmOK {
+			sol := opts.WarmStart.Clone()
+			sol.Proven = false
+			return sol, &res, nil
+		}
+		return nil, &res, &NoIncumbentError{Status: res.Status, Beta: p.Beta}
 	}
 
 	levelOf := func(i int) int {

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+)
+
+// LocalSolver is the quality-vs-speed middle ground the paper could not
+// explore between its two allocators: a small portfolio of
+// criticality-seeded greedy walks (the heuristic's PassTwo under randomly
+// perturbed row rankings) each followed by randomized repair sweeps that
+// trade a row's drop against another row's promotion whenever the exchange
+// cuts leakage, keeping the cheapest feasible allocation found. Every
+// restart derives its RNG from Seed and the restart index alone, so results
+// are deterministic and independent of scheduling or parallelism.
+type LocalSolver struct {
+	// Seed is the base seed of the per-restart RNG streams (any fixed
+	// value is fine; zero is valid and distinct from one).
+	Seed int64
+	// Restarts is the number of greedy walks (default 4). Restart 0
+	// replays the unperturbed criticality ranking, so the portfolio never
+	// starts worse than the plain heuristic's walk.
+	Restarts int
+	// Sweeps bounds the repair sweeps per restart (default 3); a sweep
+	// without an accepted move ends the search early.
+	Sweeps int
+}
+
+// Name implements Solver.
+func (*LocalSolver) Name() string { return "local" }
+
+// Solve implements Solver.
+func (s *LocalSolver) Solve(inst *Instance) (*Solution, error) {
+	return s.solveProblem(inst.Prob)
+}
+
+// restartSeed mixes the base seed and restart index through the splitmix64
+// finalizer, decorrelating the per-restart streams.
+func restartSeed(seed int64, restart int) int64 {
+	z := uint64(seed) + uint64(restart)*0x9e3779b97f4a7c15
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
+}
+
+func (s *LocalSolver) solveProblem(p *Problem) (*Solution, error) {
+	restarts := s.Restarts
+	if restarts <= 0 {
+		restarts = 4
+	}
+	sweeps := s.Sweeps
+	if sweeps <= 0 {
+		sweeps = 3
+	}
+
+	assign := make([]int, p.N)
+	jopt, err := p.passOneInto(assign)
+	if err != nil {
+		return nil, err
+	}
+	if jopt == 0 {
+		return p.solutionFor(assign, "local", false)
+	}
+
+	ct := p.RowCriticality()
+	key := make([]float64, p.N)
+	order := make([]int, p.N)
+	sigma := make([]float64, len(p.Constraints))
+	var scratch heurScratch
+	var best *Solution
+	for r := 0; r < restarts; r++ {
+		rng := rand.New(rand.NewSource(restartSeed(s.Seed, r)))
+		for i := range key {
+			if r == 0 {
+				key[i] = ct[i]
+			} else {
+				key[i] = ct[i] * (0.5 + rng.Float64())
+			}
+		}
+		for i := range order {
+			order[i] = i
+		}
+		sorter := ctSorter{order: order, key: key}
+		sort.Stable(&sorter)
+
+		for i := range assign {
+			assign[i] = jopt
+		}
+		var st timingState
+		p.initTimingState(&st, assign, sigma)
+		if !st.feasible() {
+			return nil, errors.New("core: PassOne solution fails incremental check")
+		}
+		p.walkDown(&st, order, jopt)
+		p.reconcilePairs(&st, assign, &scratch)
+		s.repair(p, &st, assign, rng, sweeps)
+		p.refineDown(&st, assign, &scratch)
+		if !st.feasible() {
+			continue // defensive; the passes above preserve feasibility
+		}
+		sol, err := p.solutionFor(assign, "local", false)
+		if err != nil {
+			return nil, err
+		}
+		if best == nil || sol.ExtraLeakNW < best.ExtraLeakNW {
+			best = sol
+		}
+	}
+	if best == nil {
+		return nil, errors.New("core: local search found no feasible allocation")
+	}
+	return best, nil
+}
+
+// repair runs randomized exchange sweeps on a feasible assignment: drop a
+// random row to a lower level already in use and, when that breaks timing,
+// promote the most helpful row of a violated constraint to the vacated
+// level — accepting the pair only when it is feasible and strictly cheaper.
+// Rows only ever move between levels already in use, so the cluster and
+// bias-pair caps can never be exceeded (levels may empty; none appear).
+func (s *LocalSolver) repair(p *Problem, st *timingState, assign []int, rng *rand.Rand, sweeps int) {
+	if p.N == 0 || p.P < 2 {
+		return
+	}
+	used := make([]int, p.P)
+	for _, j := range assign {
+		used[j]++
+	}
+	viol := make([]int, 0, len(p.Constraints))
+	tries := 2 * p.N
+	for sw := 0; sw < sweeps; sw++ {
+		improved := false
+		for t := 0; t < tries; t++ {
+			r1 := rng.Intn(p.N)
+			from := assign[r1]
+			if from == 0 {
+				continue
+			}
+			// Pick a random lower level in use.
+			lower := 0
+			for j := 0; j < from; j++ {
+				if used[j] > 0 {
+					lower++
+				}
+			}
+			if lower == 0 {
+				continue
+			}
+			pick := rng.Intn(lower)
+			to := -1
+			for j := 0; j < from; j++ {
+				if used[j] > 0 {
+					if pick == 0 {
+						to = j
+						break
+					}
+					pick--
+				}
+			}
+			gain := p.RowLeakNW[r1][from] - p.RowLeakNW[r1][to]
+			st.move(r1, to)
+			if st.feasible() {
+				used[from]--
+				used[to]++
+				improved = true
+				continue
+			}
+			// Repair: promote the row that buys the most slack on a
+			// violated constraint up to the vacated level.
+			viol = viol[:0]
+			for k := range p.Constraints {
+				if st.sigma[k] < p.Constraints[k].ReqPS-feasTolPS {
+					viol = append(viol, k)
+				}
+			}
+			r2 := -1
+			if len(viol) > 0 {
+				c := &p.Constraints[viol[rng.Intn(len(viol))]]
+				bestDelta := 0.0
+				for i := range c.Rows {
+					rc := &c.Rows[i]
+					if rc.Row == r1 || assign[rc.Row] >= from {
+						continue
+					}
+					if d := rc.DeltaPS[from] - rc.DeltaPS[assign[rc.Row]]; d > bestDelta {
+						bestDelta = d
+						r2 = rc.Row
+					}
+				}
+			}
+			if r2 >= 0 {
+				r2from := assign[r2]
+				cost := p.RowLeakNW[r2][from] - p.RowLeakNW[r2][r2from]
+				st.move(r2, from)
+				if st.feasible() && cost < gain {
+					// r1: from -> to; r2: r2from -> from.
+					used[to]++
+					used[r2from]--
+					improved = true
+					continue
+				}
+				st.move(r2, r2from)
+			}
+			st.move(r1, from)
+		}
+		if !improved {
+			return
+		}
+	}
+}

@@ -82,14 +82,9 @@ func dominates(hard, easy *PathConstraint) bool {
 
 // reindexRows rebuilds the row-to-constraint index after pruning.
 func (p *Problem) reindexRows() {
-	p.rowCons = make([][]rowConRef, p.N)
 	for i := range p.Involved {
 		p.Involved[i] = false
 	}
-	for k := range p.Constraints {
-		for pos, rc := range p.Constraints[k].Rows {
-			p.Involved[rc.Row] = true
-			p.rowCons[rc.Row] = append(p.rowCons[rc.Row], rowConRef{k: k, pos: pos})
-		}
-	}
+	p.rowConsStart, p.rowConsRefs = buildRowCons(p.N, p.Constraints, p.Involved,
+		p.rowConsStart, p.rowConsRefs)
 }

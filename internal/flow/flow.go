@@ -21,6 +21,7 @@ import (
 	"fmt"
 
 	"repro/internal/cell"
+	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/netlist"
 	"repro/internal/place"
@@ -39,6 +40,12 @@ type Prefix struct {
 	// nominal run). It is immutable and safe to share across workers;
 	// each worker keeps its own sta.Timing scratch buffer for Run.
 	Analyzer *sta.Analyzer
+	// Allocator is the reusable clustering engine over (Placement,
+	// Timing): every (beta, C) experiment point materializes its problem
+	// through it instead of a fresh core.BuildProblem. Like the Analyzer
+	// it is immutable and shared; each worker keeps its own core.Instance
+	// scratch.
+	Allocator *core.Allocator
 }
 
 // Engine memoizes flow prefixes. The zero value is not usable; construct
@@ -100,5 +107,9 @@ func PrefixFor(d *netlist.Design, lib *cell.Library, forceRows int) (*Prefix, er
 	if err != nil {
 		return nil, err
 	}
-	return &Prefix{Design: d, Placement: pl, Timing: tm, Analyzer: an}, nil
+	al, err := core.NewAllocator(pl, tm)
+	if err != nil {
+		return nil, err
+	}
+	return &Prefix{Design: d, Placement: pl, Timing: tm, Analyzer: an, Allocator: al}, nil
 }

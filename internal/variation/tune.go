@@ -32,6 +32,11 @@ type TuneOptions struct {
 	// CPU, 1 = sequential). Per-die seeds keep the statistics independent
 	// of the worker count.
 	Workers int
+	// Solver picks the allocation engine (nil = the registered two-pass
+	// heuristic). A shared Solver must be safe for concurrent Solve calls
+	// on distinct Instances — the core built-ins are — since YieldStudy
+	// hands the same value to every worker.
+	Solver core.Solver
 }
 
 func (o *TuneOptions) setDefaults() {
@@ -57,13 +62,17 @@ type TuneResult struct {
 	// BetaActual is the die's true slowdown; BetaSensed what the sensor
 	// saw (before guardband).
 	BetaActual, BetaSensed float64
-	// Solution is the applied clustering (nil when no bias was needed).
+	// Solution is the last clustering actually applied to the die (nil
+	// when no bias was needed or no allocation ever succeeded).
 	Solution *core.Solution
 	// Met reports whether the tuned die meets nominal timing.
 	Met bool
 	// Reason explains a failed tuning.
 	Reason string
-	// DcritBeforePS/DcritAfterPS are the die critical delays.
+	// DcritBeforePS/DcritAfterPS are the die critical delays. When
+	// Solution is non-nil, DcritAfterPS and LeakAfterNW always describe
+	// the die under that solution, even if a later escalation attempt
+	// failed to allocate.
 	DcritBeforePS, DcritAfterPS float64
 	// LeakBeforeNW/LeakAfterNW are the die leakages.
 	LeakBeforeNW, LeakAfterNW float64
@@ -71,32 +80,63 @@ type TuneResult struct {
 	Iters int
 }
 
+// Tuner is the per-worker mutable state of a tuning loop: a Retimer (shared
+// sta.Analyzer, private timing buffers) beside an allocation Instance
+// (shared core.Allocator, private constraint and solver buffers). Like the
+// Retimer it must not be used from more than one goroutine at a time;
+// YieldStudy creates one per worker via flow.MapWith.
+type Tuner struct {
+	rt   *Retimer
+	al   *core.Allocator
+	inst *core.Instance
+}
+
+// NewTuner bundles a Retimer and a (possibly shared) Allocator with private
+// allocation scratch.
+func NewTuner(rt *Retimer, al *core.Allocator) *Tuner {
+	return &Tuner{rt: rt, al: al}
+}
+
+// Retimer returns the tuner's re-timing engine.
+func (tn *Tuner) Retimer() *Retimer { return tn.rt }
+
+// Allocator returns the shared allocation engine.
+func (tn *Tuner) Allocator() *core.Allocator { return tn.al }
+
 // Tune runs the paper's post-silicon flow on one die: sense the slowdown,
 // allocate clustered FBB for it on the design-time (nominal) timing model,
 // verify against the die's actual variation, and escalate the target
 // slowdown if the non-uniform variation defeats the uniform-beta model.
 // It is the one-shot form of TuneOn; loops over many dies of one placement
-// should build an Analyzer once and a Retimer per worker.
+// should build an Analyzer and an Allocator once and a Tuner per worker.
 func Tune(pl *place.Placement, nom *sta.Timing, die *Die, proc *tech.Process, opts TuneOptions) (*TuneResult, error) {
 	an, err := sta.NewAnalyzer(pl, sta.Options{})
 	if err != nil {
 		return nil, err
 	}
-	return TuneOn(NewRetimer(an), nom, die, proc, opts)
-}
-
-// TuneOn is Tune on a reusable Retimer: the die re-timings (one at the
-// sampled corner, one per allocation attempt under bias) run through the
-// Retimer's shared Analyzer and reused buffers instead of fresh STA builds.
-func TuneOn(rt *Retimer, nom *sta.Timing, die *Die, proc *tech.Process, opts TuneOptions) (*TuneResult, error) {
-	opts.setDefaults()
-	pl := rt.Placement()
-	dieTm, err := rt.Time(die)
+	al, err := core.NewAllocator(pl, nom)
 	if err != nil {
 		return nil, err
 	}
-	// dieTm is rt's reused buffer: every scalar needed after the next
-	// re-timing must be extracted now.
+	return TuneOn(NewTuner(NewRetimer(an), al), nom, die, proc, opts)
+}
+
+// TuneOn is Tune on a reusable Tuner: the die re-timings run through the
+// shared Analyzer into reused buffers, and each allocation attempt
+// re-materializes the clustering problem through the shared Allocator
+// instead of a fresh BuildProblem — with the default heuristic solver the
+// whole escalation loop allocates almost nothing beyond the solutions it
+// reports (the ILP and local-search solvers buy quality with their own
+// working memory).
+func TuneOn(tn *Tuner, nom *sta.Timing, die *Die, proc *tech.Process, opts TuneOptions) (*TuneResult, error) {
+	opts.setDefaults()
+	pl := tn.rt.Placement()
+	dieTm, err := tn.rt.Time(die)
+	if err != nil {
+		return nil, err
+	}
+	// dieTm is the Retimer's reused buffer: every scalar needed after the
+	// next re-timing must be extracted now.
 	dieDcrit := dieTm.DcritPS
 	res := &TuneResult{
 		BetaActual:    dieDcrit/nom.DcritPS - 1,
@@ -120,29 +160,37 @@ func TuneOn(rt *Retimer, nom *sta.Timing, die *Die, proc *tech.Process, opts Tun
 
 	for iter := 0; iter < opts.MaxIters; iter++ {
 		res.Iters = iter + 1
-		prob, err := core.BuildProblem(pl, nom, core.Options{
+		inst, err := tn.al.At(core.Options{
 			Beta:         target,
 			MaxClusters:  opts.MaxClusters,
 			MaxBiasPairs: opts.MaxBiasPairs,
-		})
+		}, tn.inst)
 		if err != nil {
 			return nil, err
 		}
-		sol, err := prob.SolveHeuristic()
+		tn.inst = inst
+		sol, err := inst.Solve(opts.Solver)
 		if err != nil {
-			// Beyond the FBB compensation range.
+			// Beyond the FBB compensation range. Keep the report
+			// internally consistent: when an earlier escalation already
+			// applied a solution, Solution/DcritAfterPS/LeakAfterNW
+			// still describe that applied state; only a die that never
+			// got bias reports its before-tuning figures.
 			res.Reason = err.Error()
-			res.DcritAfterPS = dieDcrit
-			res.LeakAfterNW = res.LeakBeforeNW
+			if res.Solution == nil {
+				res.DcritAfterPS = dieDcrit
+				res.LeakAfterNW = res.LeakBeforeNW
+			}
 			return res, nil
 		}
-		tuned, err := rt.TimeWithBias(die, proc, sol.Assign)
+		tuned, err := tn.rt.TimeWithBias(die, proc, sol.Assign)
 		if err != nil {
 			return nil, err
 		}
-		res.Solution = sol
+		// sol lives in the Instance scratch; detach the copy we report.
+		res.Solution = sol.Clone()
 		res.DcritAfterPS = tuned.DcritPS
-		res.LeakAfterNW = die.LeakageNW(pl, proc, sol.Assign)
+		res.LeakAfterNW = die.LeakageNW(pl, proc, res.Solution.Assign)
 		if tuned.DcritPS <= limit {
 			res.Met = true
 			return res, nil
@@ -184,8 +232,9 @@ func (y *YieldStats) YieldPct() (before, after float64) {
 // YieldStudy samples nDies from the model, tunes each, and aggregates the
 // yield and leakage statistics — the system-level experiment motivating the
 // paper ("bring the slow dies back to within the range of acceptable
-// specs"). It builds the reusable STA analyzer itself; callers that already
-// hold one (e.g. a flow.Prefix) should use YieldStudyOn.
+// specs"). It builds the reusable STA analyzer and allocation engine
+// itself; callers that already hold them (e.g. a flow.Prefix) should use
+// YieldStudyOn.
 func YieldStudy(ctx context.Context, pl *place.Placement, proc *tech.Process, m Model, nDies int, seed int64, opts TuneOptions) (*YieldStats, error) {
 	an, err := sta.NewAnalyzer(pl, sta.Options{})
 	if err != nil {
@@ -195,17 +244,22 @@ func YieldStudy(ctx context.Context, pl *place.Placement, proc *tech.Process, m 
 	if err != nil {
 		return nil, err
 	}
-	return YieldStudyOn(ctx, an, nom, proc, m, nDies, seed, opts)
+	al, err := core.NewAllocator(pl, nom)
+	if err != nil {
+		return nil, err
+	}
+	return YieldStudyOn(ctx, an, al, nom, proc, m, nDies, seed, opts)
 }
 
-// YieldStudyOn runs the Monte-Carlo tuning study over a shared Analyzer and
-// its nominal timing. Dies are tuned concurrently on a flow worker pool
-// (opts.Workers bounds it; default one per CPU), each worker re-timing its
-// dies through a private Retimer over the shared Analyzer; cancelling ctx
-// aborts the study. Per-die seeds are mixed from the die index alone
-// (DieSeed), so the aggregated statistics are identical at any worker
-// count.
-func YieldStudyOn(ctx context.Context, an *sta.Analyzer, nom *sta.Timing, proc *tech.Process, m Model, nDies int, seed int64, opts TuneOptions) (*YieldStats, error) {
+// YieldStudyOn runs the Monte-Carlo tuning study over a shared Analyzer,
+// a shared Allocator built on its nominal timing, and that timing. Dies are
+// tuned concurrently on a flow worker pool (opts.Workers bounds it; default
+// one per CPU), each worker carrying a private Tuner — a Retimer over the
+// shared Analyzer beside an allocation Instance over the shared Allocator;
+// cancelling ctx aborts the study. Per-die seeds are mixed from the die
+// index alone (DieSeed), so the aggregated statistics are identical at any
+// worker count.
+func YieldStudyOn(ctx context.Context, an *sta.Analyzer, al *core.Allocator, nom *sta.Timing, proc *tech.Process, m Model, nDies int, seed int64, opts TuneOptions) (*YieldStats, error) {
 	if nDies <= 0 {
 		return nil, errors.New("variation: nDies must be positive")
 	}
@@ -214,10 +268,10 @@ func YieldStudyOn(ctx context.Context, an *sta.Analyzer, nom *sta.Timing, proc *
 	limit := nom.DcritPS * (1 + opts.SlackTolPct)
 
 	results, err := flow.MapWith(ctx, opts.Workers, nDies,
-		func() *Retimer { return NewRetimer(an) },
-		func(_ context.Context, rt *Retimer, i int) (*TuneResult, error) {
+		func() *Tuner { return NewTuner(NewRetimer(an), al) },
+		func(_ context.Context, tn *Tuner, i int) (*TuneResult, error) {
 			die := m.Sample(pl, proc, DieSeed(seed, i))
-			return TuneOn(rt, nom, die, proc, opts)
+			return TuneOn(tn, nom, die, proc, opts)
 		})
 	if err != nil {
 		return nil, err

@@ -4,6 +4,7 @@ import (
 	"context"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/sta"
 	"repro/internal/tech"
 )
@@ -51,7 +52,11 @@ func TestTuneOnMatchesTune(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rt := NewRetimer(an)
+	al, err := core.NewAllocator(pl, nom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn := NewTuner(NewRetimer(an), al)
 	m := Default()
 	opts := TuneOptions{GuardbandPct: 0.005}
 	for i := 0; i < 10; i++ {
@@ -60,7 +65,7 @@ func TestTuneOnMatchesTune(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, err := TuneOn(rt, nom, die, proc, opts)
+		got, err := TuneOn(tn, nom, die, proc, opts)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -114,6 +119,96 @@ func TestRecoverLeakageOnMatches(t *testing.T) {
 		if *want != *got {
 			t.Fatalf("die %d: RecoverLeakageOn diverged:\nwant %+v\ngot  %+v", i, want, got)
 		}
+	}
+}
+
+// TestTuneResultConsistency pins the failure-path contract: whatever a
+// die's fate — tuned, never allocatable, or failed on a later escalation —
+// the reported Solution, DcritAfterPS and LeakAfterNW must describe one
+// coherent state (the last applied allocation, or the untouched die). A
+// wide variation model forces plenty of beyond-compensation-range dies.
+func TestTuneResultConsistency(t *testing.T) {
+	pl := placed(t, "c1355")
+	proc := tech.Default45nm()
+	nom, err := sta.Analyze(pl, sta.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := sta.NewAnalyzer(pl, sta.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	al, err := core.NewAllocator(pl, nom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn := NewTuner(NewRetimer(an), al)
+	m := Model{SigmaD2DmV: 60, SigmaSysmV: 30, SigmaRndmV: 20, CorrLenUM: 150}
+	opts := TuneOptions{GuardbandPct: 0.005, MaxIters: 2}
+	failed := 0
+	for i := 0; i < 30; i++ {
+		die := m.Sample(pl, proc, DieSeed(13, i))
+		r, err := TuneOn(tn, nom, die, proc, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Solution == nil {
+			if r.LeakAfterNW != r.LeakBeforeNW || r.DcritAfterPS != r.DcritBeforePS {
+				t.Fatalf("die %d: no solution but after-state diverges from before-state: %+v", i, r)
+			}
+			if r.Reason != "" {
+				failed++
+			}
+			continue
+		}
+		if got := die.LeakageNW(pl, proc, r.Solution.Assign); got != r.LeakAfterNW {
+			t.Fatalf("die %d: LeakAfterNW %v does not match the reported solution's %v",
+				i, r.LeakAfterNW, got)
+		}
+		tuned, err := tn.Retimer().TimeWithBias(die, proc, r.Solution.Assign)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tuned.DcritPS != r.DcritAfterPS {
+			t.Fatalf("die %d: DcritAfterPS %v does not match the reported solution's %v",
+				i, r.DcritAfterPS, tuned.DcritPS)
+		}
+	}
+	if failed == 0 {
+		t.Error("variation model too tame: no die exercised the failure path")
+	}
+}
+
+// TestYieldStudySolverSelection runs the study under each registered
+// pluggable solver: statistics must stay deterministic across worker
+// counts, and the local solver must never leak more than the heuristic on
+// the tuned dies it compensates.
+func TestYieldStudySolverSelection(t *testing.T) {
+	pl := placed(t, "c1355")
+	proc := tech.Default45nm()
+	dies := 10
+	run := func(solver core.Solver, workers int) *YieldStats {
+		t.Helper()
+		st, err := YieldStudy(context.Background(), pl, proc, Default(), dies, 99,
+			TuneOptions{GuardbandPct: 0.005, Workers: workers, Solver: solver})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	local := &core.LocalSolver{Seed: 3}
+	seq := run(local, 1)
+	if par := run(local, 4); *par != *seq {
+		t.Errorf("local-solver study diverged across worker counts:\nseq: %+v\npar: %+v", seq, par)
+	}
+	heur := run(nil, 1)
+	if seq.MetAfter < heur.MetAfter {
+		t.Errorf("local solver tuned fewer dies (%d) than the heuristic (%d)",
+			seq.MetAfter, heur.MetAfter)
+	}
+	if seq.TunedDies == heur.TunedDies && seq.MeanLeakAfterNW > heur.MeanLeakAfterNW+1e-6 {
+		t.Errorf("local solver spent more leakage (%f) than the heuristic (%f)",
+			seq.MeanLeakAfterNW, heur.MeanLeakAfterNW)
 	}
 }
 

@@ -43,6 +43,12 @@ type Config struct {
 	MaxClusters  int
 	MaxBiasPairs int
 
+	// Solver names the registered core.Solver producing the Result's
+	// primary allocation ("" = "heuristic"; see core.SolverNames). The
+	// "ilp" solver is configured with ILPTimeLimit; selecting it makes the
+	// primary allocation exact, independently of RunILP.
+	Solver string
+
 	// RunILP additionally runs the exact allocator with ILPTimeLimit
 	// (default 30s when RunILP is set).
 	RunILP       bool
@@ -63,10 +69,13 @@ type Result struct {
 	Constraints int
 
 	// Single, Heuristic and ILP are the allocations (ILP nil unless
-	// requested and solved; Single/Heuristic always set).
-	Single    *core.Solution
-	Heuristic *core.Solution
-	ILP       *core.Solution
+	// requested and solved; Single/Heuristic always set). Heuristic holds
+	// the solution of the configured Solver — the two-pass heuristic by
+	// default, SolverName says which actually ran.
+	Single     *core.Solution
+	Heuristic  *core.Solution
+	ILP        *core.Solution
+	SolverName string
 	// ILPStatus reports the branch-and-bound outcome ("" if not run),
 	// ILPNodes the explored nodes.
 	ILPStatus string
@@ -84,6 +93,11 @@ type Result struct {
 	Problem   *core.Problem
 	Placement *place.Placement
 	Timing    *sta.Timing
+
+	// inst is the materialized allocation instance behind Problem; it is
+	// private to this Result (never re-materialized), so Problem and the
+	// cloned solutions stay valid indefinitely.
+	inst *core.Instance
 }
 
 // Benchmarks returns the names of the built-in Table 1 designs.
@@ -150,14 +164,16 @@ func stagePrefix(e *flow.Engine, cfg Config) (*flow.Prefix, error) {
 	return flow.PrefixFor(d, lib, cfg.ForceRows)
 }
 
-// stageProblem builds the clustering instance for one (Beta, MaxClusters)
-// point on a shared prefix and seeds the Result.
+// stageProblem materializes the clustering instance for one (Beta,
+// MaxClusters) point through the prefix's shared Allocator and seeds the
+// Result. The Instance is private to the Result and never re-materialized,
+// so the exposed Problem has the lifetime callers expect.
 func stageProblem(pfx *flow.Prefix, cfg Config) (*Result, error) {
-	prob, err := core.BuildProblem(pfx.Placement, pfx.Timing, core.Options{
+	inst, err := pfx.Allocator.At(core.Options{
 		Beta:         cfg.Beta,
 		MaxClusters:  cfg.MaxClusters,
 		MaxBiasPairs: cfg.MaxBiasPairs,
-	})
+	}, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -165,26 +181,55 @@ func stageProblem(pfx *flow.Prefix, cfg Config) (*Result, error) {
 		Design:      pfx.Design.Stats(),
 		Rows:        pfx.Placement.NumRows,
 		DcritPS:     pfx.Timing.DcritPS,
-		Constraints: prob.NumConstraints(),
-		Problem:     prob,
+		Constraints: inst.Prob.NumConstraints(),
+		Problem:     inst.Prob,
 		Placement:   pfx.Placement,
 		Timing:      pfx.Timing,
+		inst:        inst,
 	}, nil
 }
 
+// resolveSolver maps Config.Solver to a core.Solver value ("" = the
+// default heuristic), threading the ILP budget into an "ilp" selection.
+func resolveSolver(cfg Config) (core.Solver, string, error) {
+	if cfg.Solver == "" || cfg.Solver == "heuristic" {
+		return nil, "heuristic", nil
+	}
+	s, err := core.NewNamedSolver(cfg.Solver)
+	if err != nil {
+		return nil, "", err
+	}
+	if ilps, ok := s.(*core.ILPSolver); ok {
+		limit := cfg.ILPTimeLimit
+		if limit <= 0 {
+			limit = 30 * time.Second
+		}
+		ilps.Opts.TimeLimit = limit
+	}
+	return s, cfg.Solver, nil
+}
+
 // stageAllocate runs the allocators: the single-voltage baseline, the
-// two-pass heuristic, and (when requested) the exact ILP.
+// configured solver (two-pass heuristic by default), and (when requested)
+// the exact ILP.
 func stageAllocate(res *Result, cfg Config) error {
-	var err error
-	res.Single, err = res.Problem.SingleBB()
+	single, err := res.inst.SingleBB()
 	if err != nil {
 		return fmt.Errorf("repro: %s: %w", res.Design.Name, err)
 	}
-	start := time.Now()
-	res.Heuristic, err = res.Problem.SolveHeuristic()
+	res.Single = single.Clone()
+
+	solver, name, err := resolveSolver(cfg)
 	if err != nil {
 		return err
 	}
+	res.SolverName = name
+	start := time.Now()
+	sol, err := res.inst.Solve(solver)
+	if err != nil {
+		return err
+	}
+	res.Heuristic = sol.Clone()
 	res.HeuristicTime = time.Since(start)
 
 	if cfg.RunILP {

@@ -256,3 +256,39 @@ func TestSolutionAccountingConsistent(t *testing.T) {
 		}
 	}
 }
+
+// TestRunSolverSelection drives the pluggable-solver seam end to end: each
+// registered engine must produce a feasible allocation through Run, report
+// which solver ran, and an unknown name must fail cleanly.
+func TestRunSolverSelection(t *testing.T) {
+	base, err := Run(Config{Benchmark: "c1355", Beta: 0.05, SkipLayout: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.SolverName != "heuristic" {
+		t.Errorf("default SolverName = %q, want heuristic", base.SolverName)
+	}
+	for _, name := range []string{"local", "ilp"} {
+		cfg := Config{Benchmark: "c1355", Beta: 0.05, Solver: name, SkipLayout: true}
+		if name == "ilp" {
+			cfg.ILPTimeLimit = 10 * time.Second
+		}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.SolverName != name || res.Heuristic.Method != name {
+			t.Errorf("%s: reported (%q, %q)", name, res.SolverName, res.Heuristic.Method)
+		}
+		if !res.Problem.CheckTiming(res.Heuristic.Assign) {
+			t.Errorf("%s: allocation violates timing", name)
+		}
+		if res.Heuristic.ExtraLeakNW > base.Heuristic.ExtraLeakNW+1e-9 {
+			t.Errorf("%s: leakage %f worse than the heuristic's %f",
+				name, res.Heuristic.ExtraLeakNW, base.Heuristic.ExtraLeakNW)
+		}
+	}
+	if _, err := Run(Config{Benchmark: "c1355", Beta: 0.05, Solver: "nope", SkipLayout: true}); err == nil {
+		t.Error("unknown solver accepted")
+	}
+}
