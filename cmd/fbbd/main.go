@@ -1,0 +1,110 @@
+// Command fbbd serves the clustered-FBB tuning flow over HTTP: /v1/tune
+// (design-time allocation or post-silicon die tuning), /v1/yield (streamed
+// NDJSON Monte-Carlo yield study) and /v1/table1 (the paper's Table 1 grid),
+// plus /v1/stats, /v1/benchmarks and /healthz.
+//
+// The expensive gen/parse -> place -> STA -> allocator front of every
+// request is cached in a netlist-hash-keyed LRU with singleflight
+// coalescing, so concurrent traffic on the same designs builds each
+// placement once. Admission is bounded: past -workers executing requests
+// and -queue waiters, requests are shed with 503 and Retry-After. SIGINT or
+// SIGTERM drains gracefully — new requests get 503 while in-flight ones
+// (streams included) run to completion, bounded by -drain-timeout.
+//
+// Usage:
+//
+//	fbbd [-addr :8080] [-cache 8] [-workers 0] [-queue 0]
+//	     [-max-dies 1000000] [-max-gates 100000] [-drain-timeout 30s]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "fbbd:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the daemon and serves until ctx is cancelled, then drains.
+// The listen address is printed to stdout ("fbbd: listening on ...") so
+// callers binding port 0 — tests, scripts — can discover the real port.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("fbbd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr         = fs.String("addr", ":8080", "listen address")
+		cacheSize    = fs.Int("cache", 8, "prefix-cache capacity (placements)")
+		workers      = fs.Int("workers", 0, "concurrently executing requests (0 = one per CPU)")
+		queue        = fs.Int("queue", 0, "queued requests before shedding 503s (0 = 2*workers, -1 = no queue)")
+		maxDies      = fs.Int("max-dies", 1_000_000, "per-request die cap on /v1/yield")
+		maxGates     = fs.Int("max-gates", 100_000, "largest accepted design")
+		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "shutdown budget for in-flight requests")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h/-help: usage already printed, a clean exit
+		}
+		return err
+	}
+
+	s := serve.New(serve.Options{
+		CacheSize: *cacheSize,
+		Workers:   *workers,
+		Queue:     *queue,
+		MaxDies:   *maxDies,
+		MaxGates:  *maxGates,
+	})
+	httpSrv := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "fbbd: listening on http://%s\n", ln.Addr())
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Drain: reject new work at the application layer first so clients
+	// see a clean 503 + Retry-After instead of a refused connection race,
+	// then let the HTTP server wait out the in-flight requests.
+	fmt.Fprintln(stdout, "fbbd: draining")
+	s.BeginDrain()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		httpSrv.Close()
+		return fmt.Errorf("drain: %w", err)
+	}
+	if err := s.Drain(shutdownCtx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	fmt.Fprintln(stdout, "fbbd: drained")
+	return nil
+}

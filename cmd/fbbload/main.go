@@ -1,0 +1,327 @@
+// Command fbbload replays mixed-endpoint traffic against a running fbbd at
+// a target QPS and reports per-endpoint latency percentiles — the
+// measurement half of the service's "heavy concurrent traffic" contract,
+// and the quickest way to watch the coalesced prefix cache and the 503
+// backpressure behave under load.
+//
+// Traffic is an open-loop Poisson-less pacer: one request is dispatched
+// every 1/qps regardless of completions (up to -concurrency in flight;
+// beyond that arrivals are counted as client drops rather than silently
+// back-pressuring the schedule). The endpoint of each request is drawn from
+// -mix, benchmarks rotate through -bench, and every request is seeded from
+// -seed and its index, so a replay is deterministic end to end.
+//
+// Usage:
+//
+//	fbbload -addr http://127.0.0.1:8080 [-duration 10s] [-qps 50]
+//	        [-mix tune=6,die=2,yield=1,table1=1] [-bench c1355,c3540]
+//	        [-beta 0.05] [-c 3] [-solver heuristic] [-dies 100]
+//	        [-concurrency 64] [-seed 1]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/report"
+	"repro/internal/serve"
+)
+
+func main() {
+	if err := run(context.Background(), os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "fbbload:", err)
+		os.Exit(1)
+	}
+}
+
+// endpoint names accepted in -mix.
+var endpoints = []string{"tune", "die", "yield", "table1"}
+
+type sample struct {
+	endpoint string
+	latency  time.Duration
+	shed     bool // 503: deliberate backpressure, not a failure
+	err      error
+}
+
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("fbbload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr        = fs.String("addr", "http://127.0.0.1:8080", "fbbd base URL")
+		duration    = fs.Duration("duration", 10*time.Second, "load duration")
+		qps         = fs.Float64("qps", 50, "target request rate")
+		concurrency = fs.Int("concurrency", 64, "max in-flight requests")
+		mixSpec     = fs.String("mix", "tune=6,die=2,yield=1,table1=1", "endpoint weights (tune, die, yield, table1)")
+		benchList   = fs.String("bench", "c1355,c3540", "benchmarks to rotate through")
+		beta        = fs.Float64("beta", 0.05, "slowdown coefficient for tune requests")
+		c           = fs.Int("c", 3, "max clusters")
+		solver      = fs.String("solver", "heuristic", "allocation engine")
+		dies        = fs.Int("dies", 100, "dies per yield request")
+		seed        = fs.Int64("seed", 1, "replay seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h/-help: usage already printed, a clean exit
+		}
+		return err
+	}
+	if *qps <= 0 {
+		return fmt.Errorf("-qps must be positive")
+	}
+	if *concurrency < 1 {
+		return fmt.Errorf("-concurrency must be >= 1")
+	}
+	mix, err := parseMix(*mixSpec)
+	if err != nil {
+		return err
+	}
+	benches := strings.Split(*benchList, ",")
+	for i := range benches {
+		benches[i] = strings.TrimSpace(benches[i])
+	}
+
+	client := serve.NewClient(*addr)
+	rng := rand.New(rand.NewSource(*seed))
+
+	var (
+		mu          sync.Mutex
+		samples     []sample
+		clientDrops int
+		wg          sync.WaitGroup
+	)
+	slots := make(chan struct{}, *concurrency)
+	record := func(s sample) {
+		mu.Lock()
+		samples = append(samples, s)
+		mu.Unlock()
+	}
+
+	interval := time.Duration(float64(time.Second) / *qps)
+	start := time.Now()
+	deadline := start.Add(*duration)
+	dispatched := 0
+	for i := 0; ; i++ {
+		next := start.Add(time.Duration(i) * interval)
+		now := time.Now()
+		if next.After(deadline) || ctx.Err() != nil {
+			break
+		}
+		if d := next.Sub(now); d > 0 {
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+			}
+		}
+		ep := mix.pick(rng)
+		bench := benches[i%len(benches)]
+		reqSeed := *seed + int64(i)
+		select {
+		case slots <- struct{}{}:
+		default:
+			clientDrops++
+			continue
+		}
+		dispatched++
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-slots }()
+			t0 := time.Now()
+			err := issue(ctx, client, ep, bench, reqSeed, *beta, *c, *solver, *dies)
+			s := sample{endpoint: ep, latency: time.Since(t0)}
+			var apiErr *serve.APIError
+			if errors.As(err, &apiErr) && apiErr.IsRetryable() {
+				s.shed = true
+			} else {
+				s.err = err
+			}
+			record(s)
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	printReport(stdout, samples, elapsed, dispatched, clientDrops)
+	failed := 0
+	for _, s := range samples {
+		if s.err != nil {
+			failed++
+		}
+	}
+	if failed > 0 {
+		for _, s := range samples {
+			if s.err != nil {
+				fmt.Fprintf(stderr, "fbbload: %s: %v\n", s.endpoint, s.err)
+				break // one exemplar; the table has the counts
+			}
+		}
+		return fmt.Errorf("%d request(s) failed", failed)
+	}
+	return nil
+}
+
+// issue fires one request of the given kind.
+func issue(ctx context.Context, client *serve.Client, ep, bench string, seed int64, beta float64, c int, solver string, dies int) error {
+	switch ep {
+	case "tune":
+		_, err := client.Tune(ctx, serve.TuneRequest{
+			DesignRef: serve.DesignRef{Benchmark: bench},
+			Beta:      beta, MaxClusters: c, Solver: solver,
+		})
+		return err
+	case "die":
+		_, err := client.Tune(ctx, serve.TuneRequest{
+			DesignRef: serve.DesignRef{Benchmark: bench},
+			MaxClusters: c, Solver: solver,
+			Die: &serve.DieRequest{Seed: seed},
+		})
+		return err
+	case "yield":
+		_, err := client.Yield(ctx, serve.YieldRequest{
+			DesignRef: serve.DesignRef{Benchmark: bench},
+			Dies:      dies, Seed: seed, MaxClusters: c, Solver: solver,
+		}, nil)
+		return err
+	case "table1":
+		_, err := client.Table1(ctx, serve.Table1Request{
+			Benchmarks: []string{bench},
+			Betas:      []float64{beta},
+			// Deterministic, budget-free cells: heuristic columns only.
+			ILPGateLimit: 1,
+			Solver:       solver,
+		})
+		return err
+	}
+	return fmt.Errorf("unknown endpoint %q", ep)
+}
+
+// weightedMix draws endpoints proportionally to their -mix weights.
+type weightedMix struct {
+	names   []string
+	weights []int
+	total   int
+}
+
+func parseMix(spec string) (*weightedMix, error) {
+	m := &weightedMix{}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, wstr, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad -mix entry %q (want name=weight)", part)
+		}
+		known := false
+		for _, ep := range endpoints {
+			if name == ep {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return nil, fmt.Errorf("unknown -mix endpoint %q (have %v)", name, endpoints)
+		}
+		w, err := strconv.Atoi(wstr)
+		if err != nil || w < 0 {
+			return nil, fmt.Errorf("bad -mix weight %q", wstr)
+		}
+		if w == 0 {
+			continue
+		}
+		m.names = append(m.names, name)
+		m.weights = append(m.weights, w)
+		m.total += w
+	}
+	if m.total == 0 {
+		return nil, fmt.Errorf("empty -mix %q", spec)
+	}
+	return m, nil
+}
+
+func (m *weightedMix) pick(rng *rand.Rand) string {
+	n := rng.Intn(m.total)
+	for i, w := range m.weights {
+		if n < w {
+			return m.names[i]
+		}
+		n -= w
+	}
+	return m.names[len(m.names)-1]
+}
+
+// printReport renders the per-endpoint latency table.
+func printReport(w io.Writer, samples []sample, elapsed time.Duration, dispatched, clientDrops int) {
+	byEP := map[string][]sample{}
+	for _, s := range samples {
+		byEP[s.endpoint] = append(byEP[s.endpoint], s)
+	}
+	t := report.New(
+		fmt.Sprintf("fbbload — %d requests in %s (%.1f req/s achieved, %d client drops)",
+			dispatched, elapsed.Round(time.Millisecond), float64(len(samples))/elapsed.Seconds(), clientDrops),
+		"endpoint", "count", "ok", "shed", "errors", "p50", "p90", "p99", "max")
+	for _, ep := range endpoints {
+		ss := byEP[ep]
+		if len(ss) == 0 {
+			continue
+		}
+		var ok, shed, errs int
+		// Percentiles over successful requests only: a saturated server
+		// sheds in microseconds, and folding those into the latency
+		// columns would make an overloaded endpoint read as a fast one.
+		lats := make([]time.Duration, 0, len(ss))
+		for _, s := range ss {
+			switch {
+			case s.shed:
+				shed++
+			case s.err != nil:
+				errs++
+			default:
+				ok++
+				lats = append(lats, s.latency)
+			}
+		}
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		lat := func(q float64) string {
+			if len(lats) == 0 {
+				return "-"
+			}
+			return fmtLat(percentile(lats, q))
+		}
+		t.Add(ep,
+			fmt.Sprint(len(ss)), fmt.Sprint(ok), fmt.Sprint(shed), fmt.Sprint(errs),
+			lat(0.50), lat(0.90), lat(0.99), lat(1))
+	}
+	fmt.Fprint(w, t.String())
+}
+
+// percentile returns the q-quantile of ascending lats (nearest-rank).
+func percentile(lats []time.Duration, q float64) time.Duration {
+	if len(lats) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(lats))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(lats) {
+		i = len(lats) - 1
+	}
+	return lats[i]
+}
+
+func fmtLat(d time.Duration) string {
+	return d.Round(10 * time.Microsecond).String()
+}

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func loadAgainst(t *testing.T, opts serve.Options, extra ...string) (string, error) {
+	t.Helper()
+	ts := httptest.NewServer(serve.New(opts).Handler())
+	t.Cleanup(ts.Close)
+	var out, errb bytes.Buffer
+	args := append([]string{
+		"-addr", ts.URL,
+		"-duration", "300ms",
+		"-qps", "120",
+		"-bench", "c1355",
+		"-dies", "4",
+		"-seed", "7",
+	}, extra...)
+	err := run(context.Background(), args, &out, &errb)
+	return out.String(), err
+}
+
+func TestLoadMixedTraffic(t *testing.T) {
+	out, err := loadAgainst(t, serve.Options{})
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out)
+	}
+	for _, want := range []string{"endpoint", "tune", "p50", "p99", "req/s achieved"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestLoadShedIsNotFailure: a deliberately saturated server sheds with 503;
+// the load generator must report those as shed, not as errors, and exit 0.
+func TestLoadShedIsNotFailure(t *testing.T) {
+	out, err := loadAgainst(t, serve.Options{Workers: 1, Queue: -1},
+		"-mix", "yield=1,tune=4", "-dies", "400", "-qps", "200", "-concurrency", "16")
+	if err != nil {
+		t.Fatalf("shed traffic failed the run: %v\n%s", err, out)
+	}
+}
+
+func TestLoadTransportErrorsFailTheRun(t *testing.T) {
+	var out, errb bytes.Buffer
+	err := run(context.Background(), []string{
+		"-addr", "http://127.0.0.1:1", // nothing listens here
+		"-duration", "100ms", "-qps", "50",
+	}, &out, &errb)
+	if err == nil {
+		t.Fatal("unreachable server did not fail the run")
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	m, err := parseMix("tune=6,die=2,yield=1,table1=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.total != 10 || len(m.names) != 4 {
+		t.Fatalf("mix %+v", m)
+	}
+	if _, err := parseMix("zap=1"); err == nil {
+		t.Error("unknown endpoint accepted")
+	}
+	if _, err := parseMix("tune"); err == nil {
+		t.Error("weightless entry accepted")
+	}
+	if _, err := parseMix("tune=0"); err == nil {
+		t.Error("all-zero mix accepted")
+	}
+	if _, err := parseMix("tune=x"); err == nil {
+		t.Error("non-numeric weight accepted")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	lats := []time.Duration{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if p := percentile(lats, 0.50); p != 5 {
+		t.Errorf("p50 = %d, want 5", p)
+	}
+	if p := percentile(lats, 0.90); p != 9 {
+		t.Errorf("p90 = %d, want 9", p)
+	}
+	if p := percentile(lats, 0.99); p != 10 {
+		t.Errorf("p99 = %d, want 10", p)
+	}
+	if p := percentile(nil, 0.5); p != 0 {
+		t.Errorf("empty percentile = %d", p)
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-qps", "0"},
+		{"-concurrency", "0"},
+		{"-mix", "bogus=1"},
+		{"-no-such-flag"},
+	} {
+		if err := run(context.Background(), args, io.Discard, io.Discard); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+	if err := run(context.Background(), []string{"-h"}, io.Discard, io.Discard); err != nil {
+		t.Errorf("-h: %v", err)
+	}
+}

@@ -88,30 +88,36 @@ type Table1Options struct {
 	Solver string
 }
 
-// Table1Row is one line of Table 1.
+// Table1Row is one line of Table 1. The JSON tags are the wire form served
+// by fbbd's /v1/table1.
 type Table1Row struct {
-	Benchmark  string
-	Gates      int
-	Rows       int
-	BetaPct    float64
-	SingleBBuW float64 // absolute leakage of the block-level baseline
+	Benchmark  string  `json:"benchmark"`
+	Gates      int     `json:"gates"`
+	Rows       int     `json:"rows"`
+	BetaPct    float64 `json:"betaPct"`
+	SingleBBuW float64 `json:"singleBBuW"` // absolute leakage of the block-level baseline
 	// ILP savings (percent) at C=2 and C=3; NaN-free: Valid is false for
 	// skipped/failed solves (the paper's "-").
-	ILPSavC2, ILPSavC3     float64
-	ILPValidC2, ILPValidC3 bool
-	ILPProvenC2            bool
-	ILPProvenC3            bool
+	ILPSavC2    float64 `json:"ilpSavC2"`
+	ILPSavC3    float64 `json:"ilpSavC3"`
+	ILPValidC2  bool    `json:"ilpValidC2"`
+	ILPValidC3  bool    `json:"ilpValidC3"`
+	ILPProvenC2 bool    `json:"ilpProvenC2"`
+	ILPProvenC3 bool    `json:"ilpProvenC3"`
 	// ILPStatusC2/C3 report the branch-and-bound outcome ("" when the ILP
 	// was skipped) and ILPNodesC2/C3 the explored node counts.
-	ILPStatusC2, ILPStatusC3 string
-	ILPNodesC2, ILPNodesC3   int
+	ILPStatusC2 string `json:"ilpStatusC2,omitempty"`
+	ILPStatusC3 string `json:"ilpStatusC3,omitempty"`
+	ILPNodesC2  int    `json:"ilpNodesC2,omitempty"`
+	ILPNodesC3  int    `json:"ilpNodesC3,omitempty"`
 	// Heuristic savings at C=2 and C=3.
-	HeurSavC2, HeurSavC3 float64
-	Constraints          int
+	HeurSavC2   float64 `json:"heurSavC2"`
+	HeurSavC3   float64 `json:"heurSavC3"`
+	Constraints int     `json:"constraints"`
 	// Err annotates a failed cell (""  = success). A failing cell no
 	// longer discards the rest of the table: Table1 returns every row and
 	// marks the broken ones here.
-	Err string
+	Err string `json:"err,omitempty"`
 }
 
 // Table1 regenerates the paper's Table 1 on r's worker pool. The result
@@ -125,18 +131,7 @@ type Table1Row struct {
 // run; for byte-reproducible ILP columns use a sequential Runner or raise
 // ILPTimeLimit until every solve proves optimality.
 func (r *Runner) Table1(opts Table1Options) ([]Table1Row, error) {
-	if len(opts.Benchmarks) == 0 {
-		opts.Benchmarks = Benchmarks()
-	}
-	if len(opts.Betas) == 0 {
-		opts.Betas = []float64{0.05, 0.10}
-	}
-	if opts.ILPTimeLimit <= 0 {
-		opts.ILPTimeLimit = 20 * time.Second
-	}
-	if opts.ILPGateLimit <= 0 {
-		opts.ILPGateLimit = 5000
-	}
+	opts = opts.withDefaults()
 
 	type cellKey struct {
 		name string
@@ -165,14 +160,52 @@ func Table1(opts Table1Options) ([]Table1Row, error) {
 	return NewRunner(1).Table1(opts)
 }
 
+// withCellDefaults fills the Table1Options fields a single cell reads.
+// Table1CellOn applies it, so a cell computed directly on a prefix (the
+// fbbd /v1/table1 path) sees exactly the per-cell defaults a full Table1
+// run would.
+func (o Table1Options) withCellDefaults() Table1Options {
+	if o.ILPTimeLimit <= 0 {
+		o.ILPTimeLimit = 20 * time.Second
+	}
+	if o.ILPGateLimit <= 0 {
+		o.ILPGateLimit = 5000
+	}
+	return o
+}
+
+// withDefaults additionally fills the grid-level fields (the benchmark and
+// beta lists) that only Runner.Table1 iterates.
+func (o Table1Options) withDefaults() Table1Options {
+	if len(o.Benchmarks) == 0 {
+		o.Benchmarks = Benchmarks()
+	}
+	if len(o.Betas) == 0 {
+		o.Betas = []float64{0.05, 0.10}
+	}
+	return o.withCellDefaults()
+}
+
 // table1Cell computes one (benchmark, beta) row on a shared engine. Errors
 // are annotated on the row rather than returned, so one broken cell cannot
 // sink the completed ones.
 func table1Cell(e *flow.Engine, name string, beta float64, opts Table1Options) Table1Row {
+	pfx, err := e.Prefix(name, 0)
+	if err != nil {
+		return Table1Row{Benchmark: name, BetaPct: beta * 100, Err: err.Error()}
+	}
+	return Table1CellOn(pfx, name, beta, opts)
+}
+
+// Table1CellOn computes one (benchmark, beta) row of Table 1 on an already
+// computed prefix — the per-cell half of Runner.Table1, exported so callers
+// with their own prefix cache (fbbd) produce rows byte-identical to the
+// in-process driver. Failures are annotated on the row, never returned.
+func Table1CellOn(pfx *flow.Prefix, name string, beta float64, opts Table1Options) Table1Row {
+	opts = opts.withCellDefaults()
 	row := Table1Row{Benchmark: name, BetaPct: beta * 100}
 	for _, c := range []int{2, 3} {
-		res, err := RunOn(e, Config{
-			Benchmark:   name,
+		res, err := RunWith(pfx, Config{
 			Beta:        beta,
 			MaxClusters: c,
 			Solver:      opts.Solver,

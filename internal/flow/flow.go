@@ -19,6 +19,7 @@ package flow
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/cell"
 	"repro/internal/core"
@@ -91,10 +92,23 @@ func (e *Engine) Prefix(name string, forceRows int) (*Prefix, error) {
 // tests and cache diagnostics.
 func (e *Engine) PrefixCount() int { return e.prefixes.Len() }
 
+// prefixBuilds counts every Prefix constructed process-wide. Serving layers
+// whose whole point is to NOT rebuild prefixes (the fbbd coalesced cache)
+// assert on it: N concurrent identical requests must move it by exactly one.
+var prefixBuilds atomic.Int64
+
+// PrefixBuilds reports how many Prefixes have been constructed process-wide
+// since start. It is a conformance-test hook: delta across a traffic burst
+// equals the number of distinct placements actually built, so coalescing
+// and cache-sharing bugs (double builds of one netlist) show up as a count,
+// not a heisenbug.
+func PrefixBuilds() int64 { return prefixBuilds.Load() }
+
 // PrefixFor computes stages 2-3 (placement and nominal STA) for an already
 // built design, uncached. It is the computation Engine.Prefix memoizes, and
 // the path custom (non-benchmark) designs take.
 func PrefixFor(d *netlist.Design, lib *cell.Library, forceRows int) (*Prefix, error) {
+	prefixBuilds.Add(1)
 	pl, err := place.Place(d, lib, place.Options{ForceRows: forceRows})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,211 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// Client is a thin typed client for the fbbd API. The zero HTTPClient uses
+// http.DefaultClient; safe for concurrent use.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTPClient overrides the transport (nil = http.DefaultClient).
+	HTTPClient *http.Client
+}
+
+// NewClient returns a Client for the given base URL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+// APIError is a non-2xx response decoded from the server's error body.
+type APIError struct {
+	// StatusCode is the HTTP status.
+	StatusCode int
+	// Message is the server's error string.
+	Message string
+	// RetryAfterSec is the Retry-After header (0 if absent) — set on 503
+	// shed responses; clients replaying traffic should back off by it.
+	RetryAfterSec int
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("fbbd: %d: %s", e.StatusCode, e.Message)
+}
+
+// IsRetryable reports whether the request was shed (saturated or draining)
+// rather than rejected.
+func (e *APIError) IsRetryable() bool { return e.StatusCode == http.StatusServiceUnavailable }
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// post issues one JSON POST and returns the raw response; the caller owns
+// the body. Non-2xx responses are decoded into *APIError.
+func (c *Client) post(ctx context.Context, path string, reqBody any) (*http.Response, error) {
+	buf, err := json.Marshal(reqBody)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path, bytes.NewReader(buf))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode/100 != 2 {
+		defer resp.Body.Close()
+		return nil, decodeAPIError(resp)
+	}
+	return resp, nil
+}
+
+func decodeAPIError(resp *http.Response) error {
+	apiErr := &APIError{StatusCode: resp.StatusCode}
+	if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil {
+		apiErr.RetryAfterSec = ra
+	}
+	var body ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&body); err == nil && body.Error != "" {
+		apiErr.Message = body.Error
+	} else {
+		apiErr.Message = resp.Status
+	}
+	return apiErr
+}
+
+func (c *Client) postJSON(ctx context.Context, path string, reqBody, out any) error {
+	resp, err := c.post(ctx, path, reqBody)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Tune runs one /v1/tune request.
+func (c *Client) Tune(ctx context.Context, req TuneRequest) (*TuneResponse, error) {
+	var out TuneResponse
+	if err := c.postJSON(ctx, "/v1/tune", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Table1 runs one /v1/table1 request.
+func (c *Client) Table1(ctx context.Context, req Table1Request) (*Table1Response, error) {
+	var out Table1Response
+	if err := c.postJSON(ctx, "/v1/table1", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Yield runs one streamed /v1/yield request, invoking onDie (when non-nil)
+// for every per-die NDJSON line as it arrives, and returns the aggregate
+// statistics from the stream footer. A mid-stream server error arrives as
+// an *APIError with StatusCode 200.
+func (c *Client) Yield(ctx context.Context, req YieldRequest, onDie func(*DieResult) error) (*YieldStatsJSON, error) {
+	resp, err := c.post(ctx, "/v1/yield", req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		// The footer and the terminal error object are the only
+		// non-die lines; the encoder emits their discriminating key
+		// first, so a prefix check suffices.
+		switch {
+		case bytes.HasPrefix(line, []byte(`{"stats"`)):
+			var footer YieldFooter
+			if err := json.Unmarshal(line, &footer); err != nil {
+				return nil, fmt.Errorf("fbbd: bad stream footer: %w", err)
+			}
+			return footer.Stats, nil
+		case bytes.HasPrefix(line, []byte(`{"error"`)):
+			var e ErrorResponse
+			if err := json.Unmarshal(line, &e); err != nil {
+				return nil, fmt.Errorf("fbbd: bad stream error: %w", err)
+			}
+			return nil, &APIError{StatusCode: resp.StatusCode, Message: e.Error}
+		}
+		var die DieResult
+		if err := json.Unmarshal(line, &die); err != nil {
+			return nil, fmt.Errorf("fbbd: bad stream line: %w", err)
+		}
+		if onDie != nil {
+			if err := onDie(&die); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return nil, fmt.Errorf("fbbd: yield stream ended without a stats footer")
+}
+
+// Stats fetches /v1/stats.
+func (c *Client) Stats(ctx context.Context) (*StatsResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/stats", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return nil, decodeAPIError(resp)
+	}
+	var out StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Benchmarks fetches the server's built-in design names.
+func (c *Client) Benchmarks(ctx context.Context) ([]string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/benchmarks", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return nil, decodeAPIError(resp)
+	}
+	var out struct {
+		Benchmarks []string `json:"benchmarks"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return out.Benchmarks, nil
+}

@@ -1,0 +1,235 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/flow"
+)
+
+// This file is the concurrency conformance net — run it under -race (CI
+// does). It pins the two production claims of the serving layer: the
+// coalesced prefix cache builds each placement exactly once under
+// concurrent mixed traffic, and the streamed /v1/yield keeps memory
+// bounded for a 10k-die run.
+
+// TestConcurrentIdenticalRequestsBuildPrefixOnce is the acceptance
+// criterion verbatim: N concurrent identical requests, one prefix build.
+// The build is gated until every other request has joined the in-flight
+// entry, so the coalescing path itself — not lucky cache-hit timing — is
+// what serves N-1 of them.
+func TestConcurrentIdenticalRequestsBuildPrefixOnce(t *testing.T) {
+	const n = 12
+	var mu sync.Mutex
+	builds := map[string]int{}
+	gate := make(chan struct{})
+	s, c := newTestServer(t, Options{
+		Workers: n, // every request admitted at once
+		OnPrefixBuild: func(key string) {
+			mu.Lock()
+			builds[key]++
+			mu.Unlock()
+			<-gate
+		},
+	})
+
+	before := flow.PrefixBuilds()
+	req := TuneRequest{DesignRef: DesignRef{Benchmark: "c1355"}, Beta: 0.05}
+	var wg sync.WaitGroup
+	bodies := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			status, body := postRaw(t, c, "/v1/tune", string(encodeJSON(t, req)))
+			if status != 200 {
+				t.Errorf("request %d: status %d: %s", i, status, body)
+			}
+			bodies[i] = body
+		}(i)
+	}
+	// The winner is parked in the gate; wait until the other n-1 have
+	// joined its in-flight entry, then release.
+	deadline := time.Now().Add(10 * time.Second)
+	for s.cache.Stats().Hits < n-1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d requests joined the in-flight build", s.cache.Stats().Hits, n-1)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+	wg.Wait()
+
+	if got := flow.PrefixBuilds() - before; got != 1 {
+		t.Errorf("flow.Prefix built %d times for %d identical requests", got, n)
+	}
+	if len(builds) != 1 {
+		t.Errorf("distinct cache keys: %v", builds)
+	}
+	for key, n := range builds {
+		if n != 1 {
+			t.Errorf("key %s built %d times", key, n)
+		}
+	}
+	for i := 1; i < n; i++ {
+		if !bytes.Equal(bodies[i], bodies[0]) {
+			t.Errorf("request %d returned different bytes than request 0", i)
+		}
+	}
+}
+
+// TestMixedTrafficConformance hammers one server with overlapping tune,
+// die-tune, streamed yield and table1 traffic on two designs. Asserted:
+// every response succeeds, identical requests return identical bytes, and
+// the shared prefix cache built exactly one prefix per distinct design —
+// the exactly-once contract under the full mixed workload rather than a
+// single-endpoint microcosm.
+func TestMixedTrafficConformance(t *testing.T) {
+	var mu sync.Mutex
+	builds := map[string]int{}
+	_, c := newTestServer(t, Options{
+		Workers:   runtime.GOMAXPROCS(0),
+		Queue:     64,
+		CacheSize: 8,
+		OnPrefixBuild: func(key string) {
+			mu.Lock()
+			builds[key]++
+			mu.Unlock()
+		},
+	})
+	before := flow.PrefixBuilds()
+
+	chain := chainBench(32)
+	var (
+		wg      sync.WaitGroup
+		resMu   sync.Mutex
+		byKind  = map[string][][]byte{}
+		failure = false
+	)
+	record := func(kind string, body []byte) {
+		resMu.Lock()
+		byKind[kind] = append(byKind[kind], body)
+		resMu.Unlock()
+	}
+	fail := func(format string, args ...any) {
+		resMu.Lock()
+		failure = true
+		resMu.Unlock()
+		t.Errorf(format, args...)
+	}
+
+	launch := func(kind, path, body string) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			status, got := postRaw(t, c, path, body)
+			if status != 200 {
+				fail("%s: status %d: %s", kind, status, got)
+				return
+			}
+			record(kind, got)
+		}()
+	}
+
+	tuneBench := string(encodeJSON(t, TuneRequest{DesignRef: DesignRef{Benchmark: "c1355"}, Beta: 0.05}))
+	tuneChain := string(encodeJSON(t, TuneRequest{DesignRef: DesignRef{Netlist: chain}, Beta: 0.05}))
+	dieBench := string(encodeJSON(t, TuneRequest{DesignRef: DesignRef{Benchmark: "c1355"}, Die: &DieRequest{Seed: 5}}))
+	yieldChain := string(encodeJSON(t, YieldRequest{DesignRef: DesignRef{Netlist: chain}, Dies: 30, Seed: 9, Workers: 2}))
+	table1Bench := string(encodeJSON(t, Table1Request{Benchmarks: []string{"c1355"}, Betas: []float64{0.05}, ILPGateLimit: 1}))
+
+	for i := 0; i < 6; i++ {
+		launch("tuneBench", "/v1/tune", tuneBench)
+		launch("tuneChain", "/v1/tune", tuneChain)
+	}
+	for i := 0; i < 4; i++ {
+		launch("dieBench", "/v1/tune", dieBench)
+	}
+	for i := 0; i < 2; i++ {
+		launch("yieldChain", "/v1/yield", yieldChain)
+		launch("table1Bench", "/v1/table1", table1Bench)
+	}
+	wg.Wait()
+	if failure {
+		return
+	}
+
+	// Identical requests, identical bytes — across endpoints and modes.
+	for kind, bodies := range byKind {
+		for i := 1; i < len(bodies); i++ {
+			if !bytes.Equal(bodies[i], bodies[0]) {
+				t.Errorf("%s: response %d differs from response 0", kind, i)
+			}
+		}
+	}
+
+	// Two distinct designs were in play (the c1355 benchmark, shared by
+	// tune, die-tune and table1; and the uploaded chain, shared by tune
+	// and yield): exactly two prefix builds, one per design.
+	if got := flow.PrefixBuilds() - before; got != 2 {
+		t.Errorf("flow.Prefix built %d times, want 2 (one per distinct design)", got)
+	}
+	if len(builds) != 2 {
+		t.Errorf("distinct cache keys %d, want 2: %v", len(builds), builds)
+	}
+	for key, n := range builds {
+		if n != 1 {
+			t.Errorf("key %s built %d times, want 1", key, n)
+		}
+	}
+}
+
+// TestYieldStreamBoundedMemory10k is the bounded-memory acceptance test: a
+// 10k-die streamed yield study must not accumulate per-die results
+// server-side. The client samples live heap (post-GC) after 1k and after
+// 9k received lines from inside the same process; a handler retaining its
+// stream would show ~8k solutions of growth between the two samples.
+func TestYieldStreamBoundedMemory10k(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10k-die stream is a -short skip")
+	}
+	_, c := newTestServer(t, Options{})
+
+	const dies = 10_000
+	heap := func() uint64 {
+		runtime.GC()
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		return m.HeapAlloc
+	}
+	var h1k, h9k uint64
+	seen := 0
+	stats, err := c.Yield(context.Background(), YieldRequest{
+		DesignRef: DesignRef{Netlist: chainBench(48)},
+		Dies:      dies, Seed: 42,
+	}, func(d *DieResult) error {
+		if d.Die != seen {
+			t.Fatalf("out-of-order die %d at position %d", d.Die, seen)
+		}
+		seen++
+		switch seen {
+		case 1_000:
+			h1k = heap()
+		case 9_000:
+			h9k = heap()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen != dies || stats == nil || stats.Dies != dies {
+		t.Fatalf("stream incomplete: %d lines, stats %+v", seen, stats)
+	}
+	// Signed growth between the two mid-stream samples; noise is a few
+	// hundred KB, accumulation would be many MB.
+	growth := int64(h9k) - int64(h1k)
+	const limit = 4 << 20
+	if growth > limit {
+		t.Errorf("heap grew %d bytes between die 1k and die 9k (limit %d): per-die accumulation?", growth, limit)
+	}
+	t.Logf("heap at 1k dies: %d, at 9k dies: %d (growth %d)", h1k, h9k, growth)
+}

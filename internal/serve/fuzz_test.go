@@ -1,0 +1,166 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/netlist"
+)
+
+// FuzzDecodeRequest throws arbitrary bytes at every /v1/* request decoder:
+// no panic, ever — bad input is a 400-shaped error value. Requests that
+// survive decoding and validation with an embedded netlist also go through
+// the .bench parser and the cache-key hasher, the rest of the
+// attacker-controlled surface before any flow work starts.
+func FuzzDecodeRequest(f *testing.F) {
+	f.Add([]byte(`{"benchmark":"c1355","beta":0.05,"maxClusters":3,"solver":"heuristic"}`))
+	f.Add([]byte(`{"benchmark":"c1355","die":{"seed":7,"guardbandPct":0.01}}`))
+	f.Add([]byte(`{"netlist":"INPUT(a)\nINPUT(b)\nOUTPUT(n0)\nn0 = NAND(a, b)\n","dies":4,"seed":9}`))
+	f.Add([]byte(`{"benchmarks":["c1355"],"betas":[0.05],"ilpGateLimit":1}`))
+	f.Add([]byte(`{"benchmark":"c1355"} {"trailing":1}`))
+	f.Add([]byte(`{"benchmrk":"unknown field"}`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`{"netlist":"INPUT(a)\ny = ZAP(a)\nOUTPUT(y)"}`))
+	f.Add([]byte{0xff, 0xfe, 0x00})
+
+	lib := cell.Default()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tryNetlist := func(text string, forceRows int) {
+			if text == "" || len(text) > 1<<16 {
+				return
+			}
+			d, err := netlist.ParseBench(strings.NewReader(text), "fuzz", lib)
+			if err != nil {
+				return
+			}
+			if key := DesignKey(d, forceRows); len(key) != 64 {
+				t.Fatalf("bad key %q", key)
+			}
+		}
+
+		var tune TuneRequest
+		if e := decodeJSON(bytes.NewReader(data), &tune); e == nil {
+			if e := tune.validate(); e == nil {
+				tryNetlist(tune.Netlist, tune.ForceRows)
+			}
+		}
+		var yield YieldRequest
+		if e := decodeJSON(bytes.NewReader(data), &yield); e == nil {
+			if e := yield.validate(1_000_000); e == nil {
+				tryNetlist(yield.Netlist, yield.ForceRows)
+			}
+		}
+		var t1 Table1Request
+		if e := decodeJSON(bytes.NewReader(data), &t1); e == nil {
+			_ = t1.validate()
+		}
+	})
+}
+
+// fuzzDesign deterministically grows a small design from a byte script so
+// the fuzzer explores the space of structurally distinct netlists. Returns
+// nil when the script is too short to make a design.
+func fuzzDesign(name string, script []byte) *netlist.Design {
+	if len(script) == 0 {
+		return nil
+	}
+	b := netlist.NewBuilder(name, cell.Default())
+	nPI := 1 + int(script[0])%3
+	var sigs []netlist.Signal
+	for i := 0; i < nPI; i++ {
+		sigs = append(sigs, b.PI(fmt.Sprintf("i%d", i)))
+	}
+	maxGates := 24
+	for _, op := range script[1:] {
+		if b.NumGates() >= maxGates {
+			break
+		}
+		a := sigs[int(op)%len(sigs)]
+		c := sigs[int(op>>3)%len(sigs)]
+		var s netlist.Signal
+		switch op % 5 {
+		case 0:
+			s = b.Nand(a, c)
+		case 1:
+			s = b.Nor(a, c)
+		case 2:
+			s = b.Not(a)
+		case 3:
+			s = b.And(a, c)
+		default:
+			s = b.Or(a, c)
+		}
+		sigs = append(sigs, s)
+	}
+	b.Output("o", sigs[len(sigs)-1])
+	d, err := b.Build()
+	if err != nil {
+		return nil
+	}
+	return d
+}
+
+// sameDesign compares exactly the fields DesignKey covers.
+func sameDesign(a, b *netlist.Design) bool {
+	if a.Name != b.Name || len(a.PINames) != len(b.PINames) ||
+		len(a.Gates) != len(b.Gates) || len(a.POs) != len(b.POs) {
+		return false
+	}
+	for i := range a.PINames {
+		if a.PINames[i] != b.PINames[i] {
+			return false
+		}
+	}
+	for i := range a.Gates {
+		ga, gb := &a.Gates[i], &b.Gates[i]
+		if ga.Cell.Name != gb.Cell.Name || len(ga.Ins) != len(gb.Ins) {
+			return false
+		}
+		for k := range ga.Ins {
+			if ga.Ins[k] != gb.Ins[k] {
+				return false
+			}
+		}
+	}
+	for i := range a.POs {
+		if a.POs[i] != b.POs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// FuzzDesignKey pins the cache key's injectivity on the explored corpus:
+// two designs must collide exactly when they are structurally identical
+// and share a row override — a sloppy canonical encoding (missing length
+// prefixes, dropped fields) shows up as distinct netlists mapping onto one
+// cache entry, which in production would silently serve design A's timing
+// for design B.
+func FuzzDesignKey(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5}, []byte{1, 2, 3, 4, 5}, uint8(0), uint8(0))
+	f.Add([]byte{1, 2, 3, 4, 5}, []byte{1, 2, 3, 4, 6}, uint8(0), uint8(0))
+	f.Add([]byte{9, 200, 13, 77}, []byte{9, 200, 13}, uint8(2), uint8(2))
+	f.Add([]byte{0, 0, 0, 0}, []byte{0, 0, 0, 0}, uint8(0), uint8(3))
+
+	f.Fuzz(func(t *testing.T, s1, s2 []byte, rows1, rows2 uint8) {
+		d1 := fuzzDesign("d", s1)
+		d2 := fuzzDesign("d", s2)
+		if d1 == nil || d2 == nil {
+			t.Skip()
+		}
+		k1 := DesignKey(d1, int(rows1))
+		k2 := DesignKey(d2, int(rows2))
+		want := sameDesign(d1, d2) && rows1 == rows2
+		if got := k1 == k2; got != want {
+			t.Fatalf("key collision contract broken: same=%v rows %d/%d but keys equal=%v\nd1: %v gates\nd2: %v gates",
+				sameDesign(d1, d2), rows1, rows2, got, len(d1.Gates), len(d2.Gates))
+		}
+		// Determinism: hashing twice must agree.
+		if k1 != DesignKey(d1, int(rows1)) {
+			t.Fatal("DesignKey not deterministic")
+		}
+	})
+}

@@ -1,0 +1,613 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/flow"
+	"repro/internal/netlist"
+)
+
+// --- PrefixCache unit tests (fake builds: the cache never inspects the
+// prefix, so a zero value stands in) ---
+
+func TestPrefixCacheCoalescesConcurrentBuilds(t *testing.T) {
+	var builds atomic.Int64
+	c := NewPrefixCache(4, nil)
+	gate := make(chan struct{})
+	const n = 16
+	var wg sync.WaitGroup
+	results := make([]*flow.Prefix, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			pfx, err := c.Get(context.Background(), "k", func() (*flow.Prefix, error) {
+				builds.Add(1)
+				<-gate
+				return &flow.Prefix{}, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = pfx
+		}(i)
+	}
+	// Wait until the loser goroutines have joined the in-flight entry,
+	// then let the winner finish.
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Stats().Hits < n-1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d joins after 5s", c.Stats().Hits)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+	wg.Wait()
+	if got := builds.Load(); got != 1 {
+		t.Fatalf("coalescing failed: %d builds for 16 concurrent gets", got)
+	}
+	for i := 1; i < n; i++ {
+		if results[i] != results[0] {
+			t.Fatalf("get %d returned a different prefix instance", i)
+		}
+	}
+	st := c.Stats()
+	if st.Builds != 1 || st.Misses != 1 || st.Hits != n-1 || st.Len != 1 {
+		t.Fatalf("stats off: %+v", st)
+	}
+}
+
+func TestPrefixCacheLRUEviction(t *testing.T) {
+	c := NewPrefixCache(2, nil)
+	builds := map[string]int{}
+	get := func(key string) {
+		t.Helper()
+		if _, err := c.Get(context.Background(), key, func() (*flow.Prefix, error) {
+			builds[key]++
+			return &flow.Prefix{}, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	get("a")
+	get("b")
+	get("a") // refresh a: b is now the LRU
+	get("c") // evicts b
+	if c.Len() != 2 {
+		t.Fatalf("len %d after eviction, want 2", c.Len())
+	}
+	get("a") // still resident
+	get("b") // rebuilt
+	if builds["a"] != 1 {
+		t.Errorf("a built %d times, want 1 (should have stayed resident)", builds["a"])
+	}
+	if builds["b"] != 2 {
+		t.Errorf("b built %d times, want 2 (evicted then rebuilt)", builds["b"])
+	}
+	if ev := c.Stats().Evictions; ev < 2 {
+		t.Errorf("evictions %d, want >= 2", ev)
+	}
+}
+
+// TestPrefixCacheFailedBuildDoesNotEvict pins the garbage-traffic
+// invariant: a build that fails must never cost a resident placement its
+// slot, even on a full cache where an insert-time eviction policy would
+// have dropped the LRU entry before the failure was known.
+func TestPrefixCacheFailedBuildDoesNotEvict(t *testing.T) {
+	c := NewPrefixCache(1, nil)
+	goodBuilds := 0
+	good := func() (*flow.Prefix, error) {
+		goodBuilds++
+		return &flow.Prefix{}, nil
+	}
+	if _, err := c.Get(context.Background(), "good", good); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		_, err := c.Get(context.Background(), "bad", func() (*flow.Prefix, error) {
+			return nil, errors.New("boom")
+		})
+		if err == nil {
+			t.Fatal("failing build succeeded")
+		}
+	}
+	if _, err := c.Get(context.Background(), "good", good); err != nil {
+		t.Fatal(err)
+	}
+	if goodBuilds != 1 {
+		t.Fatalf("resident placement rebuilt %d times: failed builds evicted it", goodBuilds)
+	}
+}
+
+func TestPrefixCacheDoesNotRetainFailures(t *testing.T) {
+	c := NewPrefixCache(4, nil)
+	calls := 0
+	boom := errors.New("boom")
+	for i := 0; i < 3; i++ {
+		_, err := c.Get(context.Background(), "bad", func() (*flow.Prefix, error) {
+			calls++
+			return nil, boom
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("got %v, want boom", err)
+		}
+	}
+	if calls != 3 {
+		t.Fatalf("failed build cached: %d calls, want 3", calls)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("failed entry retained: len %d", c.Len())
+	}
+}
+
+func TestPrefixCacheWaiterHonoursContext(t *testing.T) {
+	c := NewPrefixCache(2, nil)
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		c.Get(context.Background(), "k", func() (*flow.Prefix, error) {
+			close(started)
+			<-gate
+			return &flow.Prefix{}, nil
+		})
+	}()
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.Get(ctx, "k", nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter got %v", err)
+	}
+	close(gate)
+}
+
+// --- DesignKey ---
+
+func TestDesignKeyDistinguishesDesignsAndRows(t *testing.T) {
+	lib := New(Options{}).opts.Library
+	parse := func(text, name string) *netlist.Design {
+		t.Helper()
+		d, err := netlist.ParseBench(strings.NewReader(text), name, lib)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	d1 := parse(chainBench(12), "chain")
+	d1b := parse(chainBench(12), "chain")
+	d2 := parse(chainBench(13), "chain")
+	d3 := parse(chainBench(12), "chain2")
+	if DesignKey(d1, 0) != DesignKey(d1b, 0) {
+		t.Error("identical designs got different keys")
+	}
+	if DesignKey(d1, 0) == DesignKey(d2, 0) {
+		t.Error("different structures share a key")
+	}
+	if DesignKey(d1, 0) == DesignKey(d3, 0) {
+		t.Error("different names share a key")
+	}
+	if DesignKey(d1, 0) == DesignKey(d1, 2) {
+		t.Error("different forceRows share a key")
+	}
+}
+
+// --- Admission / backpressure / drain ---
+
+// blockingServer returns a server whose next prefix build blocks until the
+// returned release func is called — the deterministic way to hold a worker
+// slot mid-request without sleeps.
+func blockingServer(t *testing.T, opts Options) (*Server, *Client, chan struct{}) {
+	t.Helper()
+	gate := make(chan struct{})
+	opts.OnPrefixBuild = func(string) { <-gate }
+	s, c := newTestServer(t, opts)
+	return s, c, gate
+}
+
+func TestBackpressureShedsWith503(t *testing.T) {
+	s, c, gate := blockingServer(t, Options{Workers: 1, Queue: -1, CacheSize: 2})
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := c.Tune(context.Background(), TuneRequest{DesignRef: DesignRef{Netlist: chainBench(8)}})
+		errCh <- err
+	}()
+	// Wait for the first request to be admitted and block in its build.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.inFlight.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("first request never admitted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	_, err := c.Tune(context.Background(), TuneRequest{DesignRef: DesignRef{Benchmark: "c1355"}})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("saturated request: got %v, want APIError", err)
+	}
+	if apiErr.StatusCode != http.StatusServiceUnavailable || !apiErr.IsRetryable() {
+		t.Fatalf("saturated request: %+v", apiErr)
+	}
+	if apiErr.RetryAfterSec != 1 {
+		t.Fatalf("Retry-After %d, want 1", apiErr.RetryAfterSec)
+	}
+	if apiErr.Message != "server saturated" {
+		t.Fatalf("message %q", apiErr.Message)
+	}
+	if s.shed.Load() != 1 {
+		t.Fatalf("shed counter %d, want 1", s.shed.Load())
+	}
+
+	close(gate)
+	if err := <-errCh; err != nil {
+		t.Fatalf("held request failed: %v", err)
+	}
+}
+
+func TestQueuedRequestRunsAfterWorkerFrees(t *testing.T) {
+	s, c, gate := blockingServer(t, Options{Workers: 1, Queue: 1, CacheSize: 4})
+	first := make(chan error, 1)
+	go func() {
+		_, err := c.Tune(context.Background(), TuneRequest{DesignRef: DesignRef{Netlist: chainBench(8)}})
+		first <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.inFlight.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("first request never admitted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Second request queues (depth 1); it must complete once the gate
+	// opens, not shed. Its build also passes the gate: same channel, but
+	// by then it is closed.
+	second := make(chan error, 1)
+	go func() {
+		_, err := c.Tune(context.Background(), TuneRequest{DesignRef: DesignRef{Netlist: chainBench(9)}})
+		second <- err
+	}()
+	for len(s.queueSem) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("second request never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Third request finds worker busy and queue full: shed.
+	_, err := c.Tune(context.Background(), TuneRequest{DesignRef: DesignRef{Benchmark: "c1355"}})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("third request: got %v, want 503", err)
+	}
+	close(gate)
+	if err := <-first; err != nil {
+		t.Fatalf("first: %v", err)
+	}
+	if err := <-second; err != nil {
+		t.Fatalf("second (queued): %v", err)
+	}
+}
+
+func TestDrainRejectsNewAndFinishesInFlight(t *testing.T) {
+	s, c, gate := blockingServer(t, Options{Workers: 2, CacheSize: 2})
+	inflight := make(chan error, 1)
+	go func() {
+		_, err := c.Tune(context.Background(), TuneRequest{DesignRef: DesignRef{Netlist: chainBench(8)}})
+		inflight <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.inFlight.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("request never admitted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	s.BeginDrain()
+	_, err := c.Tune(context.Background(), TuneRequest{DesignRef: DesignRef{Benchmark: "c1355"}})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining server accepted a request: %v", err)
+	}
+	if apiErr.Message != "server draining" {
+		t.Fatalf("message %q", apiErr.Message)
+	}
+
+	// Drain must wait for the in-flight request...
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	if err := s.Drain(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Drain returned %v with a request still in flight", err)
+	}
+	cancel()
+	// ...and succeed once it finishes.
+	close(gate)
+	if err := <-inflight; err != nil {
+		t.Fatalf("in-flight request failed during drain: %v", err)
+	}
+	ctx, cancel = context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("Drain after completion: %v", err)
+	}
+}
+
+// --- Endpoint basics ---
+
+func TestTuneOnUploadedNetlist(t *testing.T) {
+	_, c := newTestServer(t, Options{})
+	resp, err := c.Tune(context.Background(), TuneRequest{
+		DesignRef: DesignRef{Netlist: chainBench(24), Name: "chain24"},
+		Beta:      0.05,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Summary == nil || resp.Die != nil {
+		t.Fatalf("flow-mode response shape wrong: %+v", resp)
+	}
+	if resp.Summary.Benchmark != "chain24" || resp.Summary.Gates != 24 {
+		t.Fatalf("summary %+v", resp.Summary)
+	}
+	if resp.Summary.Best.TotalLeakUW <= 0 || resp.Summary.DcritPS <= 0 {
+		t.Fatalf("implausible summary %+v", resp.Summary)
+	}
+	if len(resp.Summary.Best.Assign) != resp.Summary.Rows {
+		t.Fatalf("assign length %d != rows %d", len(resp.Summary.Best.Assign), resp.Summary.Rows)
+	}
+}
+
+func TestTuneDieMode(t *testing.T) {
+	_, c := newTestServer(t, Options{})
+	resp, err := c.Tune(context.Background(), TuneRequest{
+		DesignRef: DesignRef{Benchmark: "c1355"},
+		Die:       &DieRequest{Seed: 7},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Die == nil || resp.Summary != nil {
+		t.Fatalf("die-mode response shape wrong: %+v", resp)
+	}
+	if resp.Die.Seed != 7 {
+		t.Fatalf("die seed %d, want 7", resp.Die.Seed)
+	}
+	if resp.Die.DcritBeforePS <= 0 {
+		t.Fatalf("implausible die result %+v", resp.Die)
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	_, c := newTestServer(t, Options{})
+	cases := []struct {
+		name, path, body string
+		wantStatus       int
+		wantIn           string
+	}{
+		{"no design", "/v1/tune", `{}`, 400, "no design"},
+		{"both designs", "/v1/tune", `{"benchmark":"c1355","netlist":"INPUT(a)"}`, 400, "not both"},
+		{"bad beta", "/v1/tune", `{"benchmark":"c1355","beta":-1}`, 400, "beta"},
+		{"bad clusters", "/v1/tune", `{"benchmark":"c1355","maxClusters":99}`, 400, "maxClusters"},
+		{"bad solver", "/v1/tune", `{"benchmark":"c1355","solver":"zap"}`, 400, "unknown solver"},
+		{"unknown benchmark", "/v1/tune", `{"benchmark":"zap"}`, 400, "unknown benchmark"},
+		{"unknown field", "/v1/tune", `{"benchmrk":"c1355"}`, 400, "unknown field"},
+		{"trailing garbage", "/v1/tune", `{"benchmark":"c1355"} {}`, 400, "trailing data"},
+		{"bad netlist", "/v1/tune", `{"netlist":"INPUT(a)\ny = ZAP(a)\nOUTPUT(y)"}`, 400, "unsupported bench function"},
+		{"yield no dies", "/v1/yield", `{"benchmark":"c1355"}`, 400, "dies"},
+		{"yield bad workers", "/v1/yield", `{"benchmark":"c1355","dies":1,"workers":-2}`, 400, "workers"},
+		{"table1 bad beta", "/v1/table1", `{"betas":[0]}`, 400, "beta"},
+		{"table1 too many betas", "/v1/table1", `{"betas":[0.1,0.1,0.1,0.1,0.1,0.1,0.1,0.1,0.1,0.1,0.1,0.1,0.1,0.1,0.1,0.1,0.1]}`, 400, "too many betas"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			status, body := postRaw(t, c, tc.path, tc.body)
+			if status != tc.wantStatus {
+				t.Fatalf("status %d, want %d (body %s)", status, tc.wantStatus, body)
+			}
+			if !strings.Contains(string(body), tc.wantIn) {
+				t.Fatalf("body %q missing %q", body, tc.wantIn)
+			}
+		})
+	}
+}
+
+func TestStatsAndHealthz(t *testing.T) {
+	s, c := newTestServer(t, Options{Workers: 3, Queue: 5})
+	if _, err := c.Tune(context.Background(), TuneRequest{DesignRef: DesignRef{Netlist: chainBench(8)}}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Workers != 3 || st.Queue != 5 {
+		t.Fatalf("pool config %+v", st)
+	}
+	if st.Cache.Builds != 1 || st.Cache.Len != 1 {
+		t.Fatalf("cache stats %+v", st.Cache)
+	}
+	if st.InFlight != 0 {
+		t.Fatalf("inFlight %d at rest", st.InFlight)
+	}
+	resp, err := http.Get(c.BaseURL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("healthz %d", resp.StatusCode)
+	}
+	benches, err := c.Benchmarks(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(benches) != 9 {
+		t.Fatalf("benchmarks %v", benches)
+	}
+	_ = s
+}
+
+func TestBenchmarkAndIdenticalUploadShareOnePrefix(t *testing.T) {
+	// A benchmark requested by name and the same design uploaded as a
+	// netlist hash to different keys only if they differ structurally;
+	// two identical uploads must share. (The generated c1355 and its
+	// .bench round-trip differ structurally — drive sizing — so the
+	// sharing contract is exercised on uploads.)
+	var mu sync.Mutex
+	builds := map[string]int{}
+	s, c := newTestServer(t, Options{OnPrefixBuild: func(k string) {
+		mu.Lock()
+		builds[k]++
+		mu.Unlock()
+	}})
+	text := chainBench(16)
+	for i := 0; i < 3; i++ {
+		if _, err := c.Tune(context.Background(), TuneRequest{
+			DesignRef: DesignRef{Netlist: text},
+			Beta:      0.02 + 0.01*float64(i), // different betas, same prefix
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(builds) != 1 {
+		t.Fatalf("distinct keys %d, want 1 (%v)", len(builds), builds)
+	}
+	for k, n := range builds {
+		if n != 1 {
+			t.Fatalf("key %s built %d times", k, n)
+		}
+	}
+	if st := s.cache.Stats(); st.Hits != 2 {
+		t.Fatalf("hits %d, want 2: %+v", st.Hits, st)
+	}
+}
+
+func TestMethodAndPathErrors(t *testing.T) {
+	_, c := newTestServer(t, Options{})
+	resp, err := http.Get(c.BaseURL + "/v1/tune")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/tune: %d, want 405", resp.StatusCode)
+	}
+	resp, err = http.Get(c.BaseURL + "/v1/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET /v1/nope: %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestYieldStreamShape(t *testing.T) {
+	_, c := newTestServer(t, Options{})
+	var dies []int
+	stats, err := c.Yield(context.Background(), YieldRequest{
+		DesignRef: DesignRef{Netlist: chainBench(16)},
+		Dies:      5, Seed: 11,
+	}, func(d *DieResult) error {
+		dies = append(dies, d.Die)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats == nil || stats.Dies != 5 {
+		t.Fatalf("stats %+v", stats)
+	}
+	for i, d := range dies {
+		if d != i {
+			t.Fatalf("die order %v", dies)
+		}
+	}
+	if len(dies) != 5 {
+		t.Fatalf("%d die lines, want 5", len(dies))
+	}
+}
+
+func TestYieldUnknownBenchmarkIs400(t *testing.T) {
+	_, c := newTestServer(t, Options{})
+	_, err := c.Yield(context.Background(), YieldRequest{
+		DesignRef: DesignRef{Benchmark: "zap"}, Dies: 2,
+	}, nil)
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != 400 {
+		t.Fatalf("got %v, want 400", err)
+	}
+}
+
+func TestMaxGatesRejected(t *testing.T) {
+	_, c := newTestServer(t, Options{MaxGates: 10})
+	_, err := c.Tune(context.Background(), TuneRequest{DesignRef: DesignRef{Netlist: chainBench(24)}})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != 400 {
+		t.Fatalf("got %v, want 400", err)
+	}
+	if !strings.Contains(apiErr.Message, "too large") {
+		t.Fatalf("message %q", apiErr.Message)
+	}
+	// The cap holds on every endpoint, including table1's row-annotated
+	// error path — the endpoint doing the most work per design.
+	resp, err := c.Table1(context.Background(), Table1Request{
+		Benchmarks:   []string{"c1355"},
+		Betas:        []float64{0.05},
+		ILPGateLimit: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Rows) != 1 || !strings.Contains(resp.Rows[0].Err, "too large") {
+		t.Fatalf("table1 ignored MaxGates: %+v", resp.Rows)
+	}
+}
+
+// TestUnknownBenchmarksDoNotGrowDesignCache pins the admission-side memory
+// bound: client-invented benchmark names must be rejected before touching
+// the designs cache (flow.Cache retains failed computations forever, so an
+// attacker looping fresh names would otherwise grow the server without
+// bound).
+func TestUnknownBenchmarksDoNotGrowDesignCache(t *testing.T) {
+	s, c := newTestServer(t, Options{})
+	for i := 0; i < 20; i++ {
+		status, _ := postRaw(t, c, "/v1/tune", fmt.Sprintf(`{"benchmark":"bogus%d"}`, i))
+		if status != 400 {
+			t.Fatalf("unknown benchmark %d: status %d, want 400", i, status)
+		}
+	}
+	if n := s.designs.Len(); n != 0 {
+		t.Fatalf("designs cache grew to %d entries on unknown names", n)
+	}
+}
+
+func TestTable1UnknownBenchmarkAnnotatedOnRow(t *testing.T) {
+	_, c := newTestServer(t, Options{})
+	resp, err := c.Table1(context.Background(), Table1Request{
+		Benchmarks:   []string{"zap"},
+		Betas:        []float64{0.05},
+		ILPGateLimit: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Rows) != 1 || resp.Rows[0].Err == "" {
+		t.Fatalf("rows %+v", resp.Rows)
+	}
+	if !strings.Contains(resp.Rows[0].Err, "unknown benchmark") {
+		t.Fatalf("err %q", resp.Rows[0].Err)
+	}
+}
+
+func ExampleDesignKey() {
+	lib := New(Options{}).opts.Library
+	d, _ := netlist.ParseBench(strings.NewReader(chainBench(4)), "chain", lib)
+	fmt.Println(len(DesignKey(d, 0)))
+	// Output: 64
+}

@@ -1,0 +1,68 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// newTestServer spins up a Server behind httptest and returns it with a
+// matching Client.
+func newTestServer(t *testing.T, opts Options) (*Server, *Client) {
+	t.Helper()
+	s := New(opts)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, NewClient(ts.URL)
+}
+
+// chainBench returns a tiny ISCAS .bench netlist: a NAND chain of the given
+// length re-reading the primary inputs so every gate stays 2-input. Small
+// enough that a 10k-die yield study runs in seconds, yet a real placement
+// with real timing paths.
+func chainBench(gates int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# chain%d\n", gates)
+	fmt.Fprintln(&b, "INPUT(a)")
+	fmt.Fprintln(&b, "INPUT(b)")
+	fmt.Fprintf(&b, "OUTPUT(n%d)\n", gates-1)
+	fmt.Fprintln(&b, "n0 = NAND(a, b)")
+	for i := 1; i < gates; i++ {
+		other := "a"
+		if i%2 == 0 {
+			other = "b"
+		}
+		fmt.Fprintf(&b, "n%d = NAND(n%d, %s)\n", i, i-1, other)
+	}
+	return b.String()
+}
+
+// encodeJSON marshals v exactly as the server does (json.Encoder: compact,
+// trailing newline), so differential tests can compare raw bytes.
+func encodeJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	if err := enc.Encode(v); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// postRaw issues a POST and returns status code and raw body.
+func postRaw(t *testing.T, c *Client, path, body string) (int, []byte) {
+	t.Helper()
+	resp, err := c.httpClient().Post(c.BaseURL+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, buf.Bytes()
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/flow"
@@ -258,8 +259,31 @@ func YieldStudy(ctx context.Context, pl *place.Placement, proc *tech.Process, m 
 // shared Analyzer beside an allocation Instance over the shared Allocator;
 // cancelling ctx aborts the study. Per-die seeds are mixed from the die
 // index alone (DieSeed), so the aggregated statistics are identical at any
-// worker count.
+// worker count. It is YieldStream with no per-die consumer.
 func YieldStudyOn(ctx context.Context, an *sta.Analyzer, al *core.Allocator, nom *sta.Timing, proc *tech.Process, m Model, nDies int, seed int64, opts TuneOptions) (*YieldStats, error) {
+	return YieldStream(ctx, an, al, nom, proc, m, nDies, seed, opts, nil)
+}
+
+// yieldChunk bounds how many per-die results a yield study holds at once:
+// dies are tuned in windows of this size and handed to the consumer (or the
+// statistics accumulator) before the next window starts, so a million-die
+// stream retains a constant O(yieldChunk) working set instead of one
+// TuneResult per die.
+const yieldChunk = 256
+
+// YieldStream is the streaming core of the yield study: it tunes nDies dies
+// in bounded windows (yieldChunk) over a worker pool and, when emit is
+// non-nil, invokes it once per die in strictly increasing die order with
+// that die's TuneResult. The result passed to emit is owned by the callee
+// only for the duration of the call at the aggregate level — it is never
+// referenced again by YieldStream, so emit may retain it, but memory stays
+// bounded only if emit does not.
+//
+// The aggregated statistics are accumulated in die order and are therefore
+// byte-identical to YieldStudyOn's at any worker count or chunk size. An
+// emit error, a tuning error, or ctx cancellation aborts the stream and is
+// returned; the partially accumulated stats are discarded.
+func YieldStream(ctx context.Context, an *sta.Analyzer, al *core.Allocator, nom *sta.Timing, proc *tech.Process, m Model, nDies int, seed int64, opts TuneOptions, emit func(die int, r *TuneResult) error) (*YieldStats, error) {
 	if nDies <= 0 {
 		return nil, errors.New("variation: nDies must be positive")
 	}
@@ -267,41 +291,52 @@ func YieldStudyOn(ctx context.Context, an *sta.Analyzer, al *core.Allocator, nom
 	opts.setDefaults()
 	limit := nom.DcritPS * (1 + opts.SlackTolPct)
 
-	results, err := flow.MapWith(ctx, opts.Workers, nDies,
-		func() *Tuner { return NewTuner(NewRetimer(an), al) },
-		func(_ context.Context, tn *Tuner, i int) (*TuneResult, error) {
-			die := m.Sample(pl, proc, DieSeed(seed, i))
-			return TuneOn(tn, nom, die, proc, opts)
-		})
-	if err != nil {
-		return nil, err
+	// Worker Tuners are pooled across chunks: between MapWith calls every
+	// worker is idle, so the whole pool is free again — each chunk checks
+	// out warmed Tuners instead of re-growing O(gates) timing and
+	// instance scratch ~nDies/yieldChunk times over a long stream.
+	var (
+		tmu    sync.Mutex
+		tuners []*Tuner
+		avail  []*Tuner
+	)
+	checkout := func() *Tuner {
+		tmu.Lock()
+		defer tmu.Unlock()
+		if n := len(avail); n > 0 {
+			tn := avail[n-1]
+			avail = avail[:n-1]
+			return tn
+		}
+		tn := NewTuner(NewRetimer(an), al)
+		tuners = append(tuners, tn)
+		return tn
 	}
 
 	st := &YieldStats{Dies: nDies}
 	sumIters, sumClusters := 0, 0
-	for _, r := range results {
-		st.MeanBetaPct += r.BetaActual * 100
-		if r.BetaActual*100 > st.WorstBetaPct {
-			st.WorstBetaPct = r.BetaActual * 100
+	for lo := 0; lo < nDies; lo += yieldChunk {
+		hi := min(lo+yieldChunk, nDies)
+		avail = append(avail[:0], tuners...)
+		results, err := flow.MapWith(ctx, opts.Workers, hi-lo,
+			checkout,
+			func(_ context.Context, tn *Tuner, i int) (*TuneResult, error) {
+				die := m.Sample(pl, proc, DieSeed(seed, lo+i))
+				return TuneOn(tn, nom, die, proc, opts)
+			})
+		if err != nil {
+			return nil, err
 		}
-		if r.DcritBeforePS <= limit {
-			st.MetBefore++
-		}
-		if r.Met {
-			st.MetAfter++
-		}
-		st.MeanLeakBeforeNW += r.LeakBeforeNW
-		st.MeanLeakAfterNW += r.LeakAfterNW
-		if r.Solution != nil {
-			st.TunedDies++
-			st.MeanLeakTunedOnlyNW += r.LeakAfterNW
-			sumIters += r.Iters
-			sumClusters += r.Solution.Clusters
-		}
-		if !r.Met {
-			st.FailedCompensations++
+		for i, r := range results {
+			st.accumulate(r, limit, &sumIters, &sumClusters)
+			if emit != nil {
+				if err := emit(lo+i, r); err != nil {
+					return nil, err
+				}
+			}
 		}
 	}
+
 	st.MeanBetaPct /= float64(nDies)
 	st.MeanLeakBeforeNW /= float64(nDies)
 	st.MeanLeakAfterNW /= float64(nDies)
@@ -311,4 +346,30 @@ func YieldStudyOn(ctx context.Context, an *sta.Analyzer, al *core.Allocator, nom
 		st.MeanClustersPerTuned = float64(sumClusters) / float64(st.TunedDies)
 	}
 	return st, nil
+}
+
+// accumulate folds one die's result into the running sums (means are still
+// raw sums here; YieldStream normalizes them once at the end).
+func (st *YieldStats) accumulate(r *TuneResult, limit float64, sumIters, sumClusters *int) {
+	st.MeanBetaPct += r.BetaActual * 100
+	if r.BetaActual*100 > st.WorstBetaPct {
+		st.WorstBetaPct = r.BetaActual * 100
+	}
+	if r.DcritBeforePS <= limit {
+		st.MetBefore++
+	}
+	if r.Met {
+		st.MetAfter++
+	}
+	st.MeanLeakBeforeNW += r.LeakBeforeNW
+	st.MeanLeakAfterNW += r.LeakAfterNW
+	if r.Solution != nil {
+		st.TunedDies++
+		st.MeanLeakTunedOnlyNW += r.LeakAfterNW
+		*sumIters += r.Iters
+		*sumClusters += r.Solution.Clusters
+	}
+	if !r.Met {
+		st.FailedCompensations++
+	}
 }

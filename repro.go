@@ -124,12 +124,22 @@ func Run(cfg Config) (*Result, error) { return RunOn(nil, cfg) }
 // Custom designs (cfg.Design) have no cache key and always compute their
 // own prefix. RunOn is safe for concurrent use with a shared engine.
 func RunOn(e *flow.Engine, cfg Config) (*Result, error) {
-	if cfg.Beta == 0 {
-		cfg.Beta = 0.05
-	}
 	pfx, err := stagePrefix(e, cfg)
 	if err != nil {
 		return nil, err
+	}
+	return RunWith(pfx, cfg) // applies the Beta default
+}
+
+// RunWith executes the per-point stages — problem materialization,
+// allocation, layout check — on an already computed prefix, skipping prefix
+// resolution entirely. It is the entry point for callers that manage their
+// own prefix cache (the fbbd service's hash-keyed LRU); RunOn is exactly
+// stagePrefix followed by RunWith, so the two agree byte for byte on the
+// same prefix and config. Safe for concurrent use: the prefix is only read.
+func RunWith(pfx *flow.Prefix, cfg Config) (*Result, error) {
+	if cfg.Beta == 0 {
+		cfg.Beta = 0.05
 	}
 	res, err := stageProblem(pfx, cfg)
 	if err != nil {
@@ -189,24 +199,40 @@ func stageProblem(pfx *flow.Prefix, cfg Config) (*Result, error) {
 	}, nil
 }
 
+// NamedSolver resolves a registered solver name to a core.Solver value
+// ("" and "heuristic" resolve to nil, the built-in default), threading
+// ilpBudget (<= 0 = 30s) into an "ilp" selection. It is the single solver
+// resolution path shared by the in-process drivers and the fbbd service,
+// so the two cannot drift.
+func NamedSolver(name string, ilpBudget time.Duration) (core.Solver, error) {
+	if name == "" || name == "heuristic" {
+		return nil, nil
+	}
+	s, err := core.NewNamedSolver(name)
+	if err != nil {
+		return nil, err
+	}
+	if ilps, ok := s.(*core.ILPSolver); ok {
+		if ilpBudget <= 0 {
+			ilpBudget = 30 * time.Second
+		}
+		ilps.Opts.TimeLimit = ilpBudget
+	}
+	return s, nil
+}
+
 // resolveSolver maps Config.Solver to a core.Solver value ("" = the
 // default heuristic), threading the ILP budget into an "ilp" selection.
 func resolveSolver(cfg Config) (core.Solver, string, error) {
-	if cfg.Solver == "" || cfg.Solver == "heuristic" {
-		return nil, "heuristic", nil
-	}
-	s, err := core.NewNamedSolver(cfg.Solver)
+	s, err := NamedSolver(cfg.Solver, cfg.ILPTimeLimit)
 	if err != nil {
 		return nil, "", err
 	}
-	if ilps, ok := s.(*core.ILPSolver); ok {
-		limit := cfg.ILPTimeLimit
-		if limit <= 0 {
-			limit = 30 * time.Second
-		}
-		ilps.Opts.TimeLimit = limit
+	name := cfg.Solver
+	if s == nil {
+		name = "heuristic"
 	}
-	return s, cfg.Solver, nil
+	return s, name, nil
 }
 
 // stageAllocate runs the allocators: the single-voltage baseline, the
@@ -263,6 +289,74 @@ func stageLayout(res *Result, cfg Config) error {
 	var err error
 	res.Layout, err = layout.Apply(res.Placement, res.Heuristic.Assign, layout.Options{})
 	return err
+}
+
+// AllocSummary is the JSON-stable digest of one allocation. Leakages are in
+// microwatts (the paper's Table 1 unit).
+type AllocSummary struct {
+	Method      string    `json:"method"`
+	TotalLeakUW float64   `json:"totalLeakUW"`
+	ExtraLeakUW float64   `json:"extraLeakUW"`
+	SavingsPct  float64   `json:"savingsPct"`
+	Clusters    int       `json:"clusters"`
+	VbsLevels   []float64 `json:"vbsLevels"`
+	Assign      []int     `json:"assign"`
+	Proven      bool      `json:"proven,omitempty"`
+}
+
+// Summary is a deterministic, JSON-stable digest of a Result: everything the
+// flow computed except wall-clock fields (runtimes, ILP node counts), so two
+// runs of the same config — in-process or across a service boundary —
+// marshal to identical bytes. It is the response body of fbbd's /v1/tune.
+type Summary struct {
+	Benchmark   string        `json:"benchmark"`
+	Gates       int           `json:"gates"`
+	DFFs        int           `json:"dffs"`
+	Rows        int           `json:"rows"`
+	DcritPS     float64       `json:"dcritPS"`
+	Constraints int           `json:"constraints"`
+	Solver      string        `json:"solver"`
+	Single      AllocSummary  `json:"single"`
+	Best        AllocSummary  `json:"best"`
+	ILP         *AllocSummary `json:"ilp,omitempty"`
+}
+
+// summarizeAlloc digests one solution against the single-voltage baseline.
+func (r *Result) summarizeAlloc(s *core.Solution) AllocSummary {
+	return AllocSummary{
+		Method:      s.Method,
+		TotalLeakUW: s.TotalLeakNW / 1000,
+		ExtraLeakUW: s.ExtraLeakNW / 1000,
+		SavingsPct:  core.Savings(r.Single, s),
+		Clusters:    s.Clusters,
+		VbsLevels:   r.Problem.VbsOf(s),
+		Assign:      s.Assign,
+		Proven:      s.Proven,
+	}
+}
+
+// Summarize digests the Result into its deterministic JSON form. The ILP
+// entry is present only when RunILP produced a solution; its Proven bit (and
+// nothing else wall-clock-dependent) is retained, so summaries of
+// time-budgeted ILP runs may still differ run to run — the heuristic and
+// local solvers are fully deterministic.
+func (r *Result) Summarize() *Summary {
+	s := &Summary{
+		Benchmark:   r.Design.Name,
+		Gates:       r.Design.Gates,
+		DFFs:        r.Design.DFFs,
+		Rows:        r.Rows,
+		DcritPS:     r.DcritPS,
+		Constraints: r.Constraints,
+		Solver:      r.SolverName,
+		Single:      r.summarizeAlloc(r.Single),
+		Best:        r.summarizeAlloc(r.Heuristic),
+	}
+	if r.ILP != nil {
+		ilp := r.summarizeAlloc(r.ILP)
+		s.ILP = &ilp
+	}
+	return s
 }
 
 // SavingsPct returns the heuristic and ILP savings versus the single-voltage
