@@ -48,11 +48,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	proc := tech.Default45nm()
 	model := variation.Default()
-	die := model.Sample(pl, proc, 11)
 
-	// One reusable analyzer and allocation engine serve every checkpoint's
-	// re-tuning — the batched form the periodic re-tuning controller would
-	// run on-line.
+	// One reusable sampler, analyzer and allocation engine serve every
+	// checkpoint's re-tuning — the batched form the periodic re-tuning
+	// controller would run on-line. The aged die is re-derived into one
+	// reused buffer per checkpoint instead of a fresh pair of slices.
+	smp := variation.NewSampler(pl, proc, model)
+	die := smp.SampleInto(nil, 11)
+	var aged *variation.Die
 	an, err := sta.NewAnalyzer(pl, sta.Options{})
 	if err != nil {
 		return err
@@ -74,7 +77,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}{
 		{0, 300}, {1, 330}, {3, 345}, {5, 360}, {10, 370},
 	} {
-		aged := die.Aged(proc, cp.years, 0.8)
+		aged = smp.AgedInto(aged, die, cp.years, 0.8)
 		hotProc := proc.WithTemperature(cp.tempK)
 		// Temperature also derates every gate uniformly.
 		for g := range aged.DelayScale {

@@ -97,7 +97,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 }
 
 // histogram re-times the same per-index die population the study samples
-// (variation.DieSeed), re-using one analyzer across all dies.
+// (variation.DieSeed), re-using one analyzer, one sampler and one die
+// buffer across all dies; only DcritPS is read, so the re-times take the
+// Dcrit-only light path.
 func histogram(w io.Writer, pl *place.Placement, nom *sta.Timing, proc *tech.Process,
 	m variation.Model, dies int, seed int64) error {
 	an, err := sta.NewAnalyzer(pl, sta.Options{})
@@ -105,10 +107,12 @@ func histogram(w io.Writer, pl *place.Placement, nom *sta.Timing, proc *tech.Pro
 		return err
 	}
 	rt := variation.NewRetimer(an)
+	smp := variation.NewSampler(pl, proc, m)
+	var die *variation.Die
 	bins := make([]int, 9) // <-6, -6..-4, ..., 8..10, >10 (%)
 	for i := 0; i < dies; i++ {
-		die := m.Sample(pl, proc, variation.DieSeed(seed, i))
-		tm, err := rt.Time(die)
+		die = smp.SampleInto(die, variation.DieSeed(seed, i))
+		tm, err := rt.TimeLight(die)
 		if err != nil {
 			return err
 		}

@@ -458,9 +458,10 @@ func MultiBlock(names []string, betas []float64) (*MultiBlockResult, error) {
 // Yield runs the Monte-Carlo post-silicon tuning study on a benchmark,
 // tuning dies concurrently on r's worker pool over the cached placement.
 // The prefix cache supplies the nominal timing, the reusable STA analyzer,
-// and the reusable allocation engine, so each die re-times without
-// rebuilding the timing graph and re-allocates without rebuilding the
-// clustering problem.
+// and the reusable allocation engine; under them the per-die loop is the
+// vectorized pipeline — buffer-reusing sampling, Dcrit-only light re-times,
+// precomputed-table leakage and memoized allocations — so a die costs a
+// handful of array passes, not a graph rebuild.
 func (r *Runner) Yield(name string, dies int, seed int64) (*variation.YieldStats, error) {
 	pfx, err := r.eng.Prefix(name, 0)
 	if err != nil {

@@ -113,6 +113,11 @@ func PrefixFor(d *netlist.Design, lib *cell.Library, forceRows int) (*Prefix, er
 	if err != nil {
 		return nil, err
 	}
+	// Warm the placement's SoA gate-centre cache eagerly: every variation
+	// Sampler over this prefix (one per yield worker) shares it, and
+	// building it here keeps the first per-die sample on the hot path
+	// instead of paying the one-time sweep under traffic.
+	pl.Centers()
 	an, err := sta.NewAnalyzer(pl, sta.Options{})
 	if err != nil {
 		return nil, err

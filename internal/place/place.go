@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/cell"
 	"repro/internal/netlist"
@@ -62,6 +63,10 @@ type Placement struct {
 	rowUsedUM []float64
 	fanouts   [][]netlist.GateID
 	poOf      [][]int // gate -> indices of POs it drives
+
+	centersOnce sync.Once
+	centerX     []float64
+	centerY     []float64
 }
 
 // Place places the design.
@@ -272,6 +277,26 @@ func (p *Placement) incidentHPWL(g netlist.GateID) float64 {
 func (p *Placement) GateCenter(g netlist.GateID) (x, y float64) {
 	return p.X[g] + p.Design.Gates[g].Cell.WidthUM(p.Lib)/2,
 		p.Y[g] + p.Lib.RowHeightUM/2
+}
+
+// Centers returns the centre coordinates of every gate as two parallel
+// slices (structure-of-arrays), the layout per-gate spatial loops want:
+// variation sampling evaluates correlated surfaces over all gate positions
+// for every die, and the AoS GateCenter calls (a cell-width lookup and two
+// divisions each) are pure per-die overhead. The slices are computed on
+// first use, cached for the placement's lifetime, and shared — callers must
+// not modify them. Safe for concurrent use; the placement coordinates are
+// immutable after Place.
+func (p *Placement) Centers() (xs, ys []float64) {
+	p.centersOnce.Do(func() {
+		n := len(p.Design.Gates)
+		p.centerX = make([]float64, n)
+		p.centerY = make([]float64, n)
+		for g := 0; g < n; g++ {
+			p.centerX[g], p.centerY[g] = p.GateCenter(netlist.GateID(g))
+		}
+	})
+	return p.centerX, p.centerY
 }
 
 // NetHPWL returns the half-perimeter bounding-box wirelength of the net

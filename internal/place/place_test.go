@@ -177,3 +177,25 @@ func TestNetHPWLPositiveForMultiPinNets(t *testing.T) {
 		t.Error("all nets have zero wirelength")
 	}
 }
+
+func TestCentersMatchGateCenter(t *testing.T) {
+	p := placed(t, "c1355")
+	xs, ys := p.Centers()
+	if len(xs) != len(p.Design.Gates) || len(ys) != len(p.Design.Gates) {
+		t.Fatalf("Centers length %d/%d, want %d", len(xs), len(ys), len(p.Design.Gates))
+	}
+	for g := range p.Design.Gates {
+		x, y := p.GateCenter(netlist.GateID(g))
+		if xs[g] != x || ys[g] != y {
+			t.Fatalf("gate %d: Centers (%v,%v), GateCenter (%v,%v)", g, xs[g], ys[g], x, y)
+		}
+	}
+	// The cache is computed once and shared.
+	xs2, ys2 := p.Centers()
+	if &xs2[0] != &xs[0] || &ys2[0] != &ys[0] {
+		t.Error("Centers rebuilt the cached slices")
+	}
+	if n := testing.AllocsPerRun(10, func() { p.Centers() }); n != 0 {
+		t.Errorf("cached Centers allocates %v/op, want 0", n)
+	}
+}

@@ -418,7 +418,10 @@ func (s *Server) handleYield(w http.ResponseWriter, r *http.Request) {
 	// Stream: one DieResult line per die in die order, then the stats
 	// footer. Memory stays bounded — variation.YieldStream hands each
 	// result over as it is sequenced and never accumulates the stream,
-	// and this handler writes it straight to the wire.
+	// and this handler writes it straight to the wire. The per-die work
+	// under it is the vectorized pipeline: buffer-reusing sampling,
+	// Dcrit-only light re-times and precomputed-table leakage over the
+	// cached prefix's analyzer and allocator.
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	enc := json.NewEncoder(w)

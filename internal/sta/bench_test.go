@@ -68,6 +68,26 @@ func benchmarkAnalyzerRun(b *testing.B, name string) {
 	}
 }
 
+func benchmarkAnalyzerRunLight(b *testing.B, name string) {
+	pl := benchPlacement(b, name)
+	scale := benchScale(len(pl.Design.Gates))
+	an, err := NewAnalyzer(pl, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := &Timing{}
+	if _, err := an.RunLight(scale, buf); err != nil { // warm the buffer
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := an.RunLight(scale, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkAnalyzeC5315(b *testing.B)       { benchmarkAnalyze(b, "c5315") }
 func BenchmarkAnalyzeC6288(b *testing.B)       { benchmarkAnalyze(b, "c6288") }
 func BenchmarkAnalyzeIndustrial1(b *testing.B) { benchmarkAnalyze(b, "industrial1") }
@@ -75,3 +95,7 @@ func BenchmarkAnalyzeIndustrial1(b *testing.B) { benchmarkAnalyze(b, "industrial
 func BenchmarkAnalyzerRunC5315(b *testing.B)       { benchmarkAnalyzerRun(b, "c5315") }
 func BenchmarkAnalyzerRunC6288(b *testing.B)       { benchmarkAnalyzerRun(b, "c6288") }
 func BenchmarkAnalyzerRunIndustrial1(b *testing.B) { benchmarkAnalyzerRun(b, "industrial1") }
+
+func BenchmarkAnalyzerRunLightC5315(b *testing.B)       { benchmarkAnalyzerRunLight(b, "c5315") }
+func BenchmarkAnalyzerRunLightC6288(b *testing.B)       { benchmarkAnalyzerRunLight(b, "c6288") }
+func BenchmarkAnalyzerRunLightIndustrial1(b *testing.B) { benchmarkAnalyzerRunLight(b, "industrial1") }

@@ -1,0 +1,208 @@
+package sta
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/gen"
+	"repro/internal/place"
+)
+
+// requireLightEqual asserts that a RunLight result matches a full Run on the
+// fields the light contract guarantees — GateDelayPS, ArrPS, TailPS and
+// DcritPS — exact to the bit, and that the light result carries no paths.
+func requireLightEqual(tb testing.TB, full, light *Timing, label string) {
+	tb.Helper()
+	if !light.Light {
+		tb.Fatalf("%s: RunLight result not marked Light", label)
+	}
+	if full.Light {
+		tb.Fatalf("%s: full Run result marked Light", label)
+	}
+	if len(light.Paths) != 0 {
+		tb.Fatalf("%s: RunLight extracted %d paths, want none", label, len(light.Paths))
+	}
+	if full.DcritPS != light.DcritPS {
+		tb.Fatalf("%s: Dcrit %v != %v", label, light.DcritPS, full.DcritPS)
+	}
+	eqF := func(name string, a, b []float64) {
+		tb.Helper()
+		if len(a) != len(b) {
+			tb.Fatalf("%s: %s length %d != %d", label, name, len(b), len(a))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				tb.Fatalf("%s: %s[%d] = %v, want %v", label, name, i, b[i], a[i])
+			}
+		}
+	}
+	eqF("GateDelayPS", full.GateDelayPS, light.GateDelayPS)
+	eqF("ArrPS", full.ArrPS, light.ArrPS)
+	eqF("TailPS", full.TailPS, light.TailPS)
+}
+
+// TestRunLightMatchesRun is the differential harness of the Dcrit-only fast
+// path: across random placements and scale vectors, a reused — and
+// alternately full/light dirtied — buffer must agree with Run bit for bit
+// on every field the light contract covers.
+func TestRunLightMatchesRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	lightBuf := &Timing{} // reused across all trials
+	mixedBuf := &Timing{} // alternates Run and RunLight
+	for trial := 0; trial < 30; trial++ {
+		pl := randomPlacement(t, int64(1000+trial))
+		an, err := NewAnalyzer(pl, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for round := 0; round < 4; round++ {
+			scale := randomScale(rng, len(pl.Design.Gates))
+			full, err := an.Run(scale, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			light, err := an.RunLight(scale, lightBuf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireLightEqual(t, full, light, "light buffer")
+			// A buffer that alternates full and light runs must behave
+			// identically in both directions.
+			if round%2 == 0 {
+				got, err := an.RunLight(scale, mixedBuf)
+				if err != nil {
+					t.Fatal(err)
+				}
+				requireLightEqual(t, full, got, "mixed buffer (light)")
+			} else {
+				got, err := an.Run(scale, mixedBuf)
+				if err != nil {
+					t.Fatal(err)
+				}
+				requireTimingEqual(t, full, got, "mixed buffer (full)")
+			}
+		}
+	}
+}
+
+// TestRunLightMatchesRunOnBenchmarks runs the differential check on real
+// generated benchmarks, where the deep shared path structure is what the
+// light path skips.
+func TestRunLightMatchesRunOnBenchmarks(t *testing.T) {
+	l := cell.Default()
+	rng := rand.New(rand.NewSource(23))
+	buf := &Timing{}
+	fullBuf := &Timing{}
+	names := []string{"c1355", "c3540"}
+	if !testing.Short() {
+		names = append(names, "c6288")
+	}
+	for _, name := range names {
+		d, err := gen.Build(name, l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pl, err := place.Place(d, l, place.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		an, err := NewAnalyzer(pl, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for round := 0; round < 3; round++ {
+			scale := randomScale(rng, len(d.Gates))
+			full, err := an.Run(scale, fullBuf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			light, err := an.RunLight(scale, buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireLightEqual(t, full, light, name)
+		}
+	}
+}
+
+// TestRunLightValidation pins the light path's error and buffer contract.
+func TestRunLightValidation(t *testing.T) {
+	pl := randomPlacement(t, 2)
+	an, err := NewAnalyzer(pl, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := an.RunLight(make([]float64, an.NumGates()+1), nil); err == nil {
+		t.Error("bad DelayScale length accepted")
+	}
+	// A dirty full-run buffer handed to RunLight must drop its paths; the
+	// same buffer handed back to Run must regrow them.
+	buf, err := an.Run(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf.Paths) == 0 {
+		t.Fatal("full run extracted no paths")
+	}
+	if _, err := an.RunLight(nil, buf); err != nil {
+		t.Fatal(err)
+	}
+	if len(buf.Paths) != 0 || !buf.Light {
+		t.Errorf("RunLight left a stale path set (%d paths, light=%v)", len(buf.Paths), buf.Light)
+	}
+	if _, err := an.Run(nil, buf); err != nil {
+		t.Fatal(err)
+	}
+	if len(buf.Paths) == 0 || buf.Light {
+		t.Errorf("Run after RunLight did not restore the full result (%d paths, light=%v)",
+			len(buf.Paths), buf.Light)
+	}
+}
+
+// FuzzAnalyzerRunLight fuzzes the differential property: for any (design
+// seed, scale seed, spread), RunLight into a reused buffer agrees with a
+// full Run on GateDelayPS/ArrPS/TailPS/DcritPS bit-exactly.
+func FuzzAnalyzerRunLight(f *testing.F) {
+	f.Add(int64(1), int64(1), 0.3)
+	f.Add(int64(2), int64(7), 0.0)
+	f.Add(int64(42), int64(99), 0.9)
+	f.Add(int64(-5), int64(0), 0.5)
+	f.Add(int64(12345), int64(-8), 0.05)
+	f.Fuzz(func(t *testing.T, designSeed, scaleSeed int64, spread float64) {
+		if math.IsNaN(spread) || math.IsInf(spread, 0) {
+			t.Skip("degenerate spread")
+		}
+		spread = math.Abs(spread)
+		if spread > 0.95 {
+			spread = math.Mod(spread, 0.95)
+		}
+		pl := randomPlacement(t, designSeed)
+		an, err := NewAnalyzer(pl, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(scaleSeed))
+		buf := &Timing{}
+		fullBuf := &Timing{}
+		for round := 0; round < 3; round++ {
+			var scale []float64
+			if round > 0 { // round 0 checks the nominal corner
+				scale = make([]float64, an.NumGates())
+				for i := range scale {
+					scale[i] = 1 - spread + 2*spread*rng.Float64()
+				}
+			}
+			full, err := an.Run(scale, fullBuf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			light, err := an.RunLight(scale, buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireLightEqual(t, full, light, "fuzz")
+		}
+	})
+}

@@ -60,8 +60,13 @@ type Timing struct {
 	// DcritPS is the critical path delay.
 	DcritPS float64
 	// Paths is the pruned unique set Pi of longest paths through each
-	// cell, sorted by descending delay.
+	// cell, sorted by descending delay. Empty after a RunLight — the
+	// Dcrit-only fast path never extracts paths.
 	Paths []Path
+	// Light reports that this Timing came from Analyzer.RunLight: only
+	// GateDelayPS, ArrPS, TailPS and DcritPS are valid, and Paths is
+	// empty. A full Run on the same buffer clears it.
+	Light bool
 
 	// Reusable per-run state for Analyzer.Run: predecessor/successor
 	// choices, the path-chain walk and storage buffers, and the

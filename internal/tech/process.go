@@ -179,10 +179,14 @@ func (p *Process) Speedup(vbs float64) float64 {
 // SubthresholdFactor returns the subthreshold leakage increase at vbs
 // relative to nominal subthreshold leakage.
 func (p *Process) SubthresholdFactor(vbs float64) float64 {
-	return p.subFactorDVth(p.VthShift(vbs))
+	return p.SubFactorDVth(p.VthShift(vbs))
 }
 
-func (p *Process) subFactorDVth(dvth float64) float64 {
+// SubFactorDVth returns the subthreshold leakage factor of a bare threshold
+// shift: exp(-dvth / (n kT/q)). It is one of the two separable factors of
+// LeakageFactorBias, which batched leakage evaluation (variation.LeakModel)
+// precomputes per die; the per-bias-level factor is SubthresholdFactor.
+func (p *Process) SubFactorDVth(dvth float64) float64 {
 	return math.Exp(-dvth / (p.SubIdeality * BoltzmannEV * RoomTempK))
 }
 
@@ -209,7 +213,7 @@ func (p *Process) LeakageFactor(vbs float64) float64 {
 // LeakageFactorDVth returns the relative leakage for an arbitrary threshold
 // shift dvth with no body bias applied.
 func (p *Process) LeakageFactorDVth(dvth float64) float64 {
-	f := (1-p.GateLeakShare)*p.subFactorDVth(dvth) + p.GateLeakShare
+	f := (1-p.GateLeakShare)*p.SubFactorDVth(dvth) + p.GateLeakShare
 	return f * p.tempLeakFactor()
 }
 
@@ -219,9 +223,15 @@ func (p *Process) DelayFactorBias(vbs, dvth float64) float64 {
 	return p.DelayFactorDVth(p.VthShift(vbs) + dvth)
 }
 
-// LeakageFactorBias combines a body bias with an extra threshold shift.
+// LeakageFactorBias combines a body bias with an extra threshold shift. The
+// subthreshold term is evaluated in separable form — the bias factor
+// exp(-VthShift(vbs)/(n kT/q)) times the variation factor exp(-dvth/(n kT/q))
+// — which is the same exponential in exact arithmetic but lets a population
+// loop precompute the per-die factor once and the per-level factor once per
+// grid (variation.LeakModel reduces every per-assignment evaluation to one
+// multiply-add pass that reproduces this function bit for bit).
 func (p *Process) LeakageFactorBias(vbs, dvth float64) float64 {
-	f := (1-p.GateLeakShare)*p.subFactorDVth(p.VthShift(vbs)+dvth) +
+	f := (1-p.GateLeakShare)*(p.SubthresholdFactor(vbs)*p.SubFactorDVth(dvth)) +
 		p.GateLeakShare + p.JunctionFactor(vbs)
 	return f * p.tempLeakFactor()
 }
@@ -233,6 +243,10 @@ func (p *Process) tempDelayFactor() float64 {
 func (p *Process) tempLeakFactor() float64 {
 	return math.Exp2((p.TempK - RoomTempK) / p.LeakDoubleK)
 }
+
+// TempLeakFactor returns the temperature derating every leakage factor is
+// multiplied by (1.0 at 300 K, doubling every LeakDoubleK kelvin).
+func (p *Process) TempLeakFactor() float64 { return p.tempLeakFactor() }
 
 // WithTemperature returns a copy of the process at the given temperature.
 // Delay and leakage factors of the copy include the temperature derating

@@ -15,7 +15,6 @@ import (
 	"math"
 	"math/rand"
 
-	"repro/internal/netlist"
 	"repro/internal/place"
 	"repro/internal/sta"
 	"repro/internal/tech"
@@ -50,45 +49,12 @@ type Die struct {
 
 // Sample draws a die. The systematic surface is a sum of random-direction
 // cosine waves with wavelengths near the correlation length, the standard
-// cheap construction for spatially correlated variation.
+// cheap construction for spatially correlated variation. It is the one-shot
+// form of Sampler.SampleInto (and produces bit-identical dies); loops
+// sampling many dies of one placement should build a Sampler and reuse a
+// Die buffer.
 func (m Model) Sample(pl *place.Placement, proc *tech.Process, seed int64) *Die {
-	rng := rand.New(rand.NewSource(seed))
-	n := len(pl.Design.Gates)
-	die := &Die{
-		Seed:       seed,
-		DVthV:      make([]float64, n),
-		DelayScale: make([]float64, n),
-	}
-	d2d := rng.NormFloat64() * m.SigmaD2DmV / 1000
-
-	const waves = 6
-	type wave struct{ kx, ky, phase, amp float64 }
-	var ws []wave
-	if m.SigmaSysmV > 0 && m.CorrLenUM > 0 {
-		amp := m.SigmaSysmV / 1000 * math.Sqrt(2/float64(waves))
-		for i := 0; i < waves; i++ {
-			theta := rng.Float64() * 2 * math.Pi
-			lambda := m.CorrLenUM * (0.7 + 0.6*rng.Float64())
-			ws = append(ws, wave{
-				kx:    2 * math.Pi / lambda * math.Cos(theta),
-				ky:    2 * math.Pi / lambda * math.Sin(theta),
-				phase: rng.Float64() * 2 * math.Pi,
-				amp:   amp,
-			})
-		}
-	}
-
-	for g := 0; g < n; g++ {
-		x, y := pl.GateCenter(netlist.GateID(g))
-		sys := 0.0
-		for _, w := range ws {
-			sys += w.amp * math.Cos(w.kx*x+w.ky*y+w.phase)
-		}
-		dvth := d2d + sys + rng.NormFloat64()*m.SigmaRndmV/1000
-		die.DVthV[g] = dvth
-		die.DelayScale[g] = proc.DelayFactorDVth(dvth)
-	}
-	return die
+	return NewSampler(pl, proc, m).SampleInto(nil, seed)
 }
 
 // Timing runs STA at the die's corner. It rebuilds the timing graph every
@@ -129,23 +95,14 @@ func (d *Die) LeakageNW(pl *place.Placement, proc *tech.Process, assign []int) f
 }
 
 // Aged returns a copy of the die after NBTI-like aging: a t^0.16 threshold
-// drift scaled by the activity factor, with 20% per-gate spread.
+// drift scaled by the activity factor, with 20% per-gate spread. It is the
+// one-shot form of Sampler.AgedInto; controller loops that re-age one die
+// repeatedly should reuse a buffer through a Sampler.
 func (d *Die) Aged(proc *tech.Process, years, activity float64) *Die {
 	if years <= 0 {
 		return d
 	}
-	drift := AgingDVthV(years, activity)
-	rng := rand.New(rand.NewSource(d.Seed ^ 0x5eed))
-	out := &Die{
-		Seed:       d.Seed,
-		DVthV:      make([]float64, len(d.DVthV)),
-		DelayScale: make([]float64, len(d.DVthV)),
-	}
-	for g := range d.DVthV {
-		out.DVthV[g] = d.DVthV[g] + drift*(1+0.2*rng.NormFloat64())
-		out.DelayScale[g] = proc.DelayFactorDVth(out.DVthV[g])
-	}
-	return out
+	return agedInto(nil, d, rand.New(rand.NewSource(agingSeed(d.Seed))), proc, years, activity)
 }
 
 // AgingDVthV is the NBTI threshold drift in volts after the given years at

@@ -60,7 +60,8 @@ func (o *RBBOptions) setDefaults() {
 // die within nominal timing. The die's own variation is accounted for
 // exactly: each gate's delay combines its threshold shift with the reverse
 // bias through the process model. It is the one-shot form of
-// RecoverLeakageOn; population studies should share an Analyzer.
+// RecoverLeakageOn; population studies should share an Analyzer and a
+// LeakModel (RecoverLeakageWith).
 func RecoverLeakage(pl *place.Placement, nom *sta.Timing, die *Die, proc *tech.Process, opts RBBOptions) (*RBBResult, error) {
 	an, err := sta.NewAnalyzer(pl, sta.Options{})
 	if err != nil {
@@ -70,22 +71,37 @@ func RecoverLeakage(pl *place.Placement, nom *sta.Timing, die *Die, proc *tech.P
 }
 
 // RecoverLeakageOn is RecoverLeakage on a reusable Retimer: the bias-scan
-// re-timings run through the Retimer's shared Analyzer and reused buffers.
+// re-timings run through the Retimer's shared Analyzer's Dcrit-only fast
+// path into reused buffers (the scan only ever reads DcritPS). It builds a
+// fresh LeakModel per call; loops over a population share one through
+// RecoverLeakageWith.
 func RecoverLeakageOn(rt *Retimer, nom *sta.Timing, die *Die, proc *tech.Process, opts RBBOptions) (*RBBResult, error) {
+	return RecoverLeakageWith(rt, NewLeakModel(rt.Placement(), proc), nom, die, opts)
+}
+
+// RecoverLeakageWith is RecoverLeakageOn with a caller-owned LeakModel: the
+// unbiased and recovered leakages are one exp pass plus multiply-add sweeps
+// over lm's precomputed tables (lm must be built for rt's placement and the
+// die's process; its per-die state is overwritten).
+func RecoverLeakageWith(rt *Retimer, lm *LeakModel, nom *sta.Timing, die *Die, opts RBBOptions) (*RBBResult, error) {
 	opts.setDefaults()
 	if nom == nil || die == nil {
 		return nil, errors.New("variation: nil timing or die")
 	}
-	pl := rt.Placement()
-	dieTm, err := rt.Time(die)
+	if nom.Light {
+		return nil, errors.New("variation: nominal timing must be a full (path-extracting) analysis")
+	}
+	proc := lm.Process()
+	dieTm, err := rt.TimeLight(die)
 	if err != nil {
 		return nil, err
 	}
+	lm.SetDie(die)
 	dieDcrit := dieTm.DcritPS // rt's buffer is reused by the bias scan below
 	res := &RBBResult{
 		DcritBeforePS: dieDcrit,
 		DcritAfterPS:  dieDcrit,
-		LeakBeforeNW:  die.LeakageNW(pl, proc, nil),
+		LeakBeforeNW:  lm.LeakageNW(nil),
 	}
 	res.LeakAfterNW = res.LeakBeforeNW
 	limit := nom.DcritPS * (1 - opts.MarginPct)
@@ -97,7 +113,7 @@ func RecoverLeakageOn(rt *Retimer, nom *sta.Timing, die *Die, proc *tech.Process
 	// feasible set is contiguous: more RBB is strictly slower).
 	best, bestDcrit := 0.0, dieDcrit
 	for vbs := -opts.StepV; vbs >= -opts.MaxV-1e-9; vbs -= opts.StepV {
-		tm, err := rt.TimeUniformBias(die, proc, vbs)
+		tm, err := rt.TimeUniformBiasLight(die, proc, vbs)
 		if err != nil {
 			return nil, err
 		}
@@ -113,10 +129,7 @@ func RecoverLeakageOn(rt *Retimer, nom *sta.Timing, die *Die, proc *tech.Process
 	res.Applied = true
 	res.VbsV = best
 	res.DcritAfterPS = bestDcrit
-	leak := 0.0
-	for g := range pl.Design.Gates {
-		leak += pl.Design.Gates[g].Cell.LeakNW * proc.LeakageFactorBias(best, die.DVthV[g])
-	}
+	leak := lm.LeakageUniformNW(best)
 	res.LeakAfterNW = leak
 	res.SavedPct = 100 * (res.LeakBeforeNW - leak) / res.LeakBeforeNW
 	return res, nil
@@ -132,7 +145,8 @@ type RecoveryStats struct {
 }
 
 // RecoveryStudy applies RBB to every fast die of a population, sharing one
-// Analyzer and one Retimer across all dies and bias steps.
+// Analyzer, one Retimer, one Sampler and one LeakModel across all dies and
+// bias steps.
 func RecoveryStudy(pl *place.Placement, proc *tech.Process, m Model, nDies int, seed int64, opts RBBOptions) (*RecoveryStats, error) {
 	if nDies <= 0 {
 		return nil, errors.New("variation: nDies must be positive")
@@ -146,10 +160,13 @@ func RecoveryStudy(pl *place.Placement, proc *tech.Process, m Model, nDies int, 
 		return nil, err
 	}
 	rt := NewRetimer(an)
+	smp := NewSampler(pl, proc, m)
+	lm := NewLeakModel(pl, proc)
+	var die *Die
 	st := &RecoveryStats{Dies: nDies}
 	for i := 0; i < nDies; i++ {
-		die := m.Sample(pl, proc, DieSeed(seed, i))
-		r, err := RecoverLeakageOn(rt, nom, die, proc, opts)
+		die = smp.SampleInto(die, DieSeed(seed, i))
+		r, err := RecoverLeakageWith(rt, lm, nom, die, opts)
 		if err != nil {
 			return nil, err
 		}

@@ -43,9 +43,47 @@ func (rt *Retimer) Time(die *Die) (*sta.Timing, error) {
 	return rt.an.Run(die.DelayScale, rt.buf)
 }
 
+// TimeLight is Time through the Analyzer's Dcrit-only fast path: the result
+// carries bit-identical GateDelayPS/ArrPS/TailPS/DcritPS but no extracted
+// Paths. Population loops that only read the die's critical delay (yield
+// tuning, RBB scans) use it; path-walking consumers need Time.
+func (rt *Retimer) TimeLight(die *Die) (*sta.Timing, error) {
+	return rt.an.RunLight(die.DelayScale, rt.buf)
+}
+
 // TimeWithBias re-times the die with a row-level body-bias assignment
 // applied on top of its variation.
 func (rt *Retimer) TimeWithBias(die *Die, proc *tech.Process, assign []int) (*sta.Timing, error) {
+	scale, err := rt.biasScale(die, proc, assign)
+	if err != nil {
+		return nil, err
+	}
+	return rt.an.Run(scale, rt.buf)
+}
+
+// TimeWithBiasLight is TimeWithBias through the Dcrit-only fast path.
+func (rt *Retimer) TimeWithBiasLight(die *Die, proc *tech.Process, assign []int) (*sta.Timing, error) {
+	scale, err := rt.biasScale(die, proc, assign)
+	if err != nil {
+		return nil, err
+	}
+	return rt.an.RunLight(scale, rt.buf)
+}
+
+// TimeUniformBias re-times the die with one body-bias voltage applied to
+// every gate (the block-level granularity RBB recovery scans).
+func (rt *Retimer) TimeUniformBias(die *Die, proc *tech.Process, vbs float64) (*sta.Timing, error) {
+	return rt.an.Run(rt.uniformScale(die, proc, vbs), rt.buf)
+}
+
+// TimeUniformBiasLight is TimeUniformBias through the Dcrit-only fast path.
+func (rt *Retimer) TimeUniformBiasLight(die *Die, proc *tech.Process, vbs float64) (*sta.Timing, error) {
+	return rt.an.RunLight(rt.uniformScale(die, proc, vbs), rt.buf)
+}
+
+// biasScale fills the scale scratch with the die's variation combined with
+// a row-level bias assignment.
+func (rt *Retimer) biasScale(die *Die, proc *tech.Process, assign []int) ([]float64, error) {
 	pl := rt.an.Placement()
 	if len(assign) != pl.NumRows {
 		return nil, errors.New("variation: assignment length mismatch")
@@ -56,17 +94,17 @@ func (rt *Retimer) TimeWithBias(die *Die, proc *tech.Process, assign []int) (*st
 		vbs := grid.Voltage(assign[pl.RowOf[g]])
 		scale[g] = proc.DelayFactorBias(vbs, die.DVthV[g])
 	}
-	return rt.an.Run(scale, rt.buf)
+	return scale, nil
 }
 
-// TimeUniformBias re-times the die with one body-bias voltage applied to
-// every gate (the block-level granularity RBB recovery scans).
-func (rt *Retimer) TimeUniformBias(die *Die, proc *tech.Process, vbs float64) (*sta.Timing, error) {
+// uniformScale fills the scale scratch with the die's variation combined
+// with one bias voltage on every gate.
+func (rt *Retimer) uniformScale(die *Die, proc *tech.Process, vbs float64) []float64 {
 	scale := rt.scaleBuf(len(die.DVthV))
 	for g := range scale {
 		scale[g] = proc.DelayFactorBias(vbs, die.DVthV[g])
 	}
-	return rt.an.Run(scale, rt.buf)
+	return scale
 }
 
 func (rt *Retimer) scaleBuf(n int) []float64 {
@@ -82,7 +120,12 @@ func (rt *Retimer) scaleBuf(n int) []float64 {
 // adjacent dies) and ties each die to its index alone, so a study's
 // population is byte-identical at any worker count or scheduling order.
 func DieSeed(seed int64, die int) int64 {
-	z := uint64(seed) + uint64(die)*0x9e3779b97f4a7c15
+	return splitmix64(uint64(seed) + uint64(die)*0x9e3779b97f4a7c15)
+}
+
+// splitmix64 is the splitmix64 finalizer, the mixing core of DieSeed and
+// the sensor noise streams.
+func splitmix64(z uint64) int64 {
 	z ^= z >> 30
 	z *= 0xbf58476d1ce4e5b9
 	z ^= z >> 27

@@ -8,9 +8,15 @@ import (
 
 // Sensor estimates a die's slowdown coefficient beta relative to nominal
 // timing. The paper's section 3.1 describes both styles implemented here.
+//
+// nom is always a full nominal analysis (its path set is valid); die may be
+// a Dcrit-only light re-time — implementations must not read die.Paths,
+// only its GateDelayPS/ArrPS/DcritPS. dieSeed identifies the die being
+// measured (Die.Seed), so noisy sensors can derive an independent,
+// deterministic noise stream per die.
 type Sensor interface {
 	// MeasureBeta returns the estimated slowdown (0.05 = 5% slower).
-	MeasureBeta(nom, die *sta.Timing) float64
+	MeasureBeta(nom, die *sta.Timing, dieSeed int64) float64
 }
 
 // ReplicaSensor models critical-path replicas placed around the block
@@ -23,12 +29,15 @@ type ReplicaSensor struct {
 	Replicas int
 	// NoisePct is the 1-sigma relative measurement error (e.g. 0.01).
 	NoisePct float64
-	// Seed makes the noise deterministic.
+	// Seed makes the noise deterministic: together with the die seed it
+	// selects the measurement-noise stream, so re-measuring one die
+	// reproduces the same reading while different dies see independent
+	// noise (physical measurement noise is uncorrelated across dies).
 	Seed int64
 }
 
 // MeasureBeta implements Sensor.
-func (s ReplicaSensor) MeasureBeta(nom, die *sta.Timing) float64 {
+func (s ReplicaSensor) MeasureBeta(nom, die *sta.Timing, dieSeed int64) float64 {
 	r := s.Replicas
 	if r <= 0 {
 		r = 8
@@ -36,7 +45,7 @@ func (s ReplicaSensor) MeasureBeta(nom, die *sta.Timing) float64 {
 	if r > len(nom.Paths) {
 		r = len(nom.Paths)
 	}
-	rng := rand.New(rand.NewSource(s.Seed))
+	rng := rand.New(rand.NewSource(noiseSeed(s.Seed, dieSeed)))
 	worst := 0.0
 	for i := 0; i < r; i++ {
 		p := nom.Paths[i]
@@ -57,6 +66,15 @@ func (s ReplicaSensor) MeasureBeta(nom, die *sta.Timing) float64 {
 	return worst
 }
 
+// noiseSeed mixes the sensor's own seed with the die's through the DieSeed
+// splitmix64 finalizer: deterministic per (sensor, die) pair, decorrelated
+// across dies. A fixed sensor seed alone would replay one noise stream on
+// every die of a population, making the measurement error perfectly
+// correlated across the lot.
+func noiseSeed(sensorSeed, dieSeed int64) int64 {
+	return splitmix64(uint64(sensorSeed) + uint64(dieSeed)*0x9e3779b97f4a7c15)
+}
+
 // InSituMonitor models the modified flip-flops of Mitra [3]: every endpoint
 // is observed, so the measurement sees the true critical slowdown, quantized
 // to the monitor's resolution.
@@ -67,7 +85,7 @@ type InSituMonitor struct {
 }
 
 // MeasureBeta implements Sensor.
-func (s InSituMonitor) MeasureBeta(nom, die *sta.Timing) float64 {
+func (s InSituMonitor) MeasureBeta(nom, die *sta.Timing, _ int64) float64 {
 	beta := die.DcritPS/nom.DcritPS - 1
 	if beta < 0 {
 		return beta

@@ -83,13 +83,85 @@ type TuneResult struct {
 
 // Tuner is the per-worker mutable state of a tuning loop: a Retimer (shared
 // sta.Analyzer, private timing buffers) beside an allocation Instance
-// (shared core.Allocator, private constraint and solver buffers). Like the
+// (shared core.Allocator, private constraint and solver buffers) and a
+// LeakModel (shared tables via Clone, private per-die factors). Like the
 // Retimer it must not be used from more than one goroutine at a time;
 // YieldStudy creates one per worker via flow.MapWith.
 type Tuner struct {
 	rt   *Retimer
 	al   *core.Allocator
 	inst *core.Instance
+	leak *LeakModel
+
+	// sols memoizes allocation outcomes per (beta, clusters, pairs): the
+	// clustering problem is built on the *nominal* timing and a target
+	// slowdown — it does not depend on the die — and the default
+	// monitor quantizes sensed targets, so a population keeps re-solving
+	// a handful of identical instances. Only first-iteration targets are
+	// inserted (escalated ones are continuous per-die floats that would
+	// never hit again) and insertion stops at maxSolMemo entries — the
+	// memo is a bounded cache, not a log, and a worker that lives for a
+	// million-die stream holds O(maxSolMemo) solutions. Solvers are
+	// deterministic, so a cached solution is the one re-solving would
+	// return; the memo is reset when the caller switches solvers.
+	sols       map[solKey]*solEntry
+	solsSolver core.Solver
+}
+
+// maxSolMemo bounds the Tuner's allocation memo. The default monitor's 1%
+// quantization yields a few dozen distinct first-iteration targets on any
+// realistic population; everything beyond that is a continuous escalation
+// target with no reuse value.
+const maxSolMemo = 64
+
+type solKey struct {
+	beta            float64
+	clusters, pairs int
+}
+
+type solEntry struct {
+	sol *core.Solution // detached clone; nil when the solve failed
+	err error
+}
+
+// solve returns the allocation for a target slowdown through the Tuner's
+// memo, materializing and solving through the shared Allocator on a miss.
+// memoize marks a reusable (first-iteration, monitor-quantized) target:
+// escalated targets are continuous per-die floats that would never hit
+// again, so they are looked up but never inserted — one-off keys cannot
+// crowd the bounded memo out of its reusable entries. solveErr is the
+// graceful beyond-compensation-range outcome (cached — it is as
+// deterministic as a solution); err is a structural materialization failure
+// (fatal, never cached). The returned Solution is owned by the Tuner (the
+// memo, or the Instance scratch when not inserted): callers clone before
+// retaining, exactly as they must for Instance-owned solutions.
+func (tn *Tuner) solve(opts core.Options, solver core.Solver, memoize bool) (sol *core.Solution, solveErr, err error) {
+	if tn.sols == nil || tn.solsSolver != solver {
+		tn.sols = make(map[solKey]*solEntry)
+		tn.solsSolver = solver
+	}
+	key := solKey{beta: opts.Beta, clusters: opts.MaxClusters, pairs: opts.MaxBiasPairs}
+	if e, ok := tn.sols[key]; ok {
+		return e.sol, e.err, nil
+	}
+	inst, err := tn.al.At(opts, tn.inst)
+	if err != nil {
+		return nil, nil, err
+	}
+	tn.inst = inst
+	s, serr := inst.Solve(solver)
+	if !memoize || len(tn.sols) >= maxSolMemo {
+		// Hand the scratch-owned solution straight through. Skipping the
+		// insert only costs a potential future re-solve; correctness is
+		// unaffected since cached and fresh solves are identical.
+		return s, serr, nil
+	}
+	e := &solEntry{err: serr}
+	if s != nil {
+		e.sol = s.Clone() // s lives in the Instance scratch
+	}
+	tn.sols[key] = e
+	return e.sol, e.err, nil
 }
 
 // NewTuner bundles a Retimer and a (possibly shared) Allocator with private
@@ -103,6 +175,17 @@ func (tn *Tuner) Retimer() *Retimer { return tn.rt }
 
 // Allocator returns the shared allocation engine.
 func (tn *Tuner) Allocator() *core.Allocator { return tn.al }
+
+// leakModel returns the tuner's leakage engine for proc, building (or
+// rebuilding, when the process changes — e.g. the aging controller's
+// per-checkpoint temperature derates) it on demand. Population loops skip
+// the build by seeding tn.leak from a shared model's Clone.
+func (tn *Tuner) leakModel(proc *tech.Process) *LeakModel {
+	if tn.leak == nil || tn.leak.proc != proc {
+		tn.leak = NewLeakModel(tn.rt.Placement(), proc)
+	}
+	return tn.leak
+}
 
 // Tune runs the paper's post-silicon flow on one die: sense the slowdown,
 // allocate clustered FBB for it on the design-time (nominal) timing model,
@@ -123,31 +206,44 @@ func Tune(pl *place.Placement, nom *sta.Timing, die *Die, proc *tech.Process, op
 }
 
 // TuneOn is Tune on a reusable Tuner: the die re-timings run through the
-// shared Analyzer into reused buffers, and each allocation attempt
-// re-materializes the clustering problem through the shared Allocator
-// instead of a fresh BuildProblem — with the default heuristic solver the
-// whole escalation loop allocates almost nothing beyond the solutions it
-// reports (the ILP and local-search solvers buy quality with their own
-// working memory).
+// shared Analyzer's Dcrit-only fast path into reused buffers (only the
+// critical delay of a die corner is ever read — the sensors walk the
+// *nominal* path set), each allocation attempt re-materializes the
+// clustering problem through the shared Allocator instead of a fresh
+// BuildProblem, and the per-die leakages are one exp pass plus
+// multiply-add sweeps through the Tuner's LeakModel — with the default
+// heuristic solver the whole escalation loop allocates almost nothing
+// beyond the solutions it reports (the ILP and local-search solvers buy
+// quality with their own working memory).
 func TuneOn(tn *Tuner, nom *sta.Timing, die *Die, proc *tech.Process, opts TuneOptions) (*TuneResult, error) {
+	if nom == nil || nom.Light {
+		return nil, errors.New("variation: nominal timing must be a full (path-extracting) analysis")
+	}
 	opts.setDefaults()
-	pl := tn.rt.Placement()
-	dieTm, err := tn.rt.Time(die)
+	dieTm, err := tn.rt.TimeLight(die)
 	if err != nil {
 		return nil, err
 	}
+	lm := tn.leakModel(proc)
+	lm.SetDie(die)
 	// dieTm is the Retimer's reused buffer: every scalar needed after the
 	// next re-timing must be extracted now.
 	dieDcrit := dieTm.DcritPS
 	res := &TuneResult{
 		BetaActual:    dieDcrit/nom.DcritPS - 1,
 		DcritBeforePS: dieDcrit,
-		LeakBeforeNW:  die.LeakageNW(pl, proc, nil),
+		LeakBeforeNW:  lm.LeakageNW(nil),
 	}
 	limit := nom.DcritPS * (1 + opts.SlackTolPct)
 
-	res.BetaSensed = opts.Sensor.MeasureBeta(nom, dieTm)
+	res.BetaSensed = opts.Sensor.MeasureBeta(nom, dieTm, die.Seed)
 	target := res.BetaSensed + opts.GuardbandPct
+	// Memoizing an allocation only pays when the target can recur, which
+	// takes a quantizing sensor: a noisy or exact reading is a continuous
+	// per-die float, and inserting it would just fill the bounded memo
+	// with dead entries.
+	mon, isMonitor := opts.Sensor.(InSituMonitor)
+	memoizable := isMonitor && mon.ResolutionPct > 0
 	if dieDcrit <= limit && target <= 0 {
 		// Fast or nominal die: nothing to do.
 		res.Met = true
@@ -161,37 +257,35 @@ func TuneOn(tn *Tuner, nom *sta.Timing, die *Die, proc *tech.Process, opts TuneO
 
 	for iter := 0; iter < opts.MaxIters; iter++ {
 		res.Iters = iter + 1
-		inst, err := tn.al.At(core.Options{
+		sol, solveErr, err := tn.solve(core.Options{
 			Beta:         target,
 			MaxClusters:  opts.MaxClusters,
 			MaxBiasPairs: opts.MaxBiasPairs,
-		}, tn.inst)
+		}, opts.Solver, memoizable && iter == 0)
 		if err != nil {
 			return nil, err
 		}
-		tn.inst = inst
-		sol, err := inst.Solve(opts.Solver)
-		if err != nil {
+		if solveErr != nil {
 			// Beyond the FBB compensation range. Keep the report
 			// internally consistent: when an earlier escalation already
 			// applied a solution, Solution/DcritAfterPS/LeakAfterNW
 			// still describe that applied state; only a die that never
 			// got bias reports its before-tuning figures.
-			res.Reason = err.Error()
+			res.Reason = solveErr.Error()
 			if res.Solution == nil {
 				res.DcritAfterPS = dieDcrit
 				res.LeakAfterNW = res.LeakBeforeNW
 			}
 			return res, nil
 		}
-		tuned, err := tn.rt.TimeWithBias(die, proc, sol.Assign)
+		tuned, err := tn.rt.TimeWithBiasLight(die, proc, sol.Assign)
 		if err != nil {
 			return nil, err
 		}
-		// sol lives in the Instance scratch; detach the copy we report.
+		// sol lives in the Tuner's memo; detach the copy we report.
 		res.Solution = sol.Clone()
 		res.DcritAfterPS = tuned.DcritPS
-		res.LeakAfterNW = die.LeakageNW(pl, proc, res.Solution.Assign)
+		res.LeakAfterNW = lm.LeakageNW(res.Solution.Assign)
 		if tuned.DcritPS <= limit {
 			res.Met = true
 			return res, nil
@@ -291,38 +385,53 @@ func YieldStream(ctx context.Context, an *sta.Analyzer, al *core.Allocator, nom 
 	opts.setDefaults()
 	limit := nom.DcritPS * (1 + opts.SlackTolPct)
 
-	// Worker Tuners are pooled across chunks: between MapWith calls every
+	// The assignment-independent structure is built once for the whole
+	// stream: the Sampler's gate-centre geometry and the LeakModel's
+	// per-gate base leakage and per-level bias tables are immutable, so
+	// every worker Clones them — private generator, die buffer and
+	// per-die leak factors over shared tables.
+	smpBase := NewSampler(pl, proc, m)
+	leakBase := NewLeakModel(pl, proc)
+
+	// Worker states are pooled across chunks: between MapWith calls every
 	// worker is idle, so the whole pool is free again — each chunk checks
-	// out warmed Tuners instead of re-growing O(gates) timing and
-	// instance scratch ~nDies/yieldChunk times over a long stream.
+	// out warmed Tuners, Samplers and die buffers instead of re-growing
+	// O(gates) scratch ~nDies/yieldChunk times over a long stream.
+	type yieldWorker struct {
+		tn  *Tuner
+		smp *Sampler
+		die *Die
+	}
 	var (
-		tmu    sync.Mutex
-		tuners []*Tuner
-		avail  []*Tuner
+		tmu     sync.Mutex
+		workers []*yieldWorker
+		avail   []*yieldWorker
 	)
-	checkout := func() *Tuner {
+	checkout := func() *yieldWorker {
 		tmu.Lock()
 		defer tmu.Unlock()
 		if n := len(avail); n > 0 {
-			tn := avail[n-1]
+			w := avail[n-1]
 			avail = avail[:n-1]
-			return tn
+			return w
 		}
 		tn := NewTuner(NewRetimer(an), al)
-		tuners = append(tuners, tn)
-		return tn
+		tn.leak = leakBase.Clone()
+		w := &yieldWorker{tn: tn, smp: smpBase.Clone(), die: &Die{}}
+		workers = append(workers, w)
+		return w
 	}
 
 	st := &YieldStats{Dies: nDies}
 	sumIters, sumClusters := 0, 0
 	for lo := 0; lo < nDies; lo += yieldChunk {
 		hi := min(lo+yieldChunk, nDies)
-		avail = append(avail[:0], tuners...)
+		avail = append(avail[:0], workers...)
 		results, err := flow.MapWith(ctx, opts.Workers, hi-lo,
 			checkout,
-			func(_ context.Context, tn *Tuner, i int) (*TuneResult, error) {
-				die := m.Sample(pl, proc, DieSeed(seed, lo+i))
-				return TuneOn(tn, nom, die, proc, opts)
+			func(_ context.Context, w *yieldWorker, i int) (*TuneResult, error) {
+				die := w.smp.SampleInto(w.die, DieSeed(seed, lo+i))
+				return TuneOn(w.tn, nom, die, proc, opts)
 			})
 		if err != nil {
 			return nil, err

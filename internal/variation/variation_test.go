@@ -163,15 +163,15 @@ func TestSensors(t *testing.T) {
 	}
 	truth := dieTm.DcritPS/nom.DcritPS - 1
 
-	exact := InSituMonitor{}.MeasureBeta(nom, dieTm)
+	exact := InSituMonitor{}.MeasureBeta(nom, dieTm, die.Seed)
 	if math.Abs(exact-truth) > 1e-9 {
 		t.Errorf("exact monitor read %f, truth %f", exact, truth)
 	}
-	quant := InSituMonitor{ResolutionPct: 0.01}.MeasureBeta(nom, dieTm)
+	quant := InSituMonitor{ResolutionPct: 0.01}.MeasureBeta(nom, dieTm, die.Seed)
 	if truth > 0 && (quant < truth-1e-9 || quant > truth+0.01+1e-9) {
 		t.Errorf("quantized monitor read %f for truth %f", quant, truth)
 	}
-	replica := ReplicaSensor{Replicas: 16, NoisePct: 0.005, Seed: 1}.MeasureBeta(nom, dieTm)
+	replica := ReplicaSensor{Replicas: 16, NoisePct: 0.005, Seed: 1}.MeasureBeta(nom, dieTm, die.Seed)
 	if truth > 0 && math.Abs(replica-truth) > 0.05 {
 		t.Errorf("replica sensor read %f, truth %f", replica, truth)
 	}
