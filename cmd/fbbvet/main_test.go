@@ -1,0 +1,28 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/driver"
+)
+
+// TestTreeIsClean pins the acceptance contract: the repo's own code passes
+// every fbbvet analyzer with zero findings (modulo the reasoned //lint:allow
+// suppressions committed alongside the code they excuse).
+func TestTreeIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	pkgs, err := driver.Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	findings, err := driver.Run(pkgs, lint.All())
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("unexpected finding: %s", f)
+	}
+}

@@ -116,6 +116,7 @@ func Solve(m *Model, opts Options) (Result, error) {
 	if nodeLimit <= 0 {
 		nodeLimit = 1 << 20
 	}
+	//lint:allow detrand opts.TimeLimit is an explicit caller-chosen wall-clock budget; ROADMAP item 3 (deterministic parallel B&B) replaces it with node/work budgets
 	start := time.Now()
 	deadline := time.Time{}
 	if opts.TimeLimit > 0 {
@@ -141,6 +142,7 @@ func Solve(m *Model, opts Options) (Result, error) {
 	anyPrunedByBudget := false
 
 	for len(stack) > 0 {
+		//lint:allow detrand deadline pruning only fires when the caller opted into a wall-clock TimeLimit; Status reports the truncation
 		if res.Nodes >= nodeLimit || (!deadline.IsZero() && time.Now().After(deadline)) {
 			anyPrunedByBudget = true
 			break
@@ -172,7 +174,7 @@ func Solve(m *Model, opts Options) (Result, error) {
 		case lp.Unbounded:
 			if !rootSolved {
 				res.Status = RelaxUnbounded
-				res.Elapsed = time.Since(start)
+				res.Elapsed = time.Since(start) //lint:allow detrand Elapsed is reporting-only telemetry, never an input to the solve
 				return res, nil
 			}
 			continue
@@ -239,7 +241,7 @@ func Solve(m *Model, opts Options) (Result, error) {
 		}
 	}
 
-	res.Elapsed = time.Since(start)
+	res.Elapsed = time.Since(start) //lint:allow detrand Elapsed is reporting-only telemetry, never an input to the solve
 	// Remaining frontier contributes to the proven bound.
 	frontier := res.Obj
 	for _, nd := range stack {

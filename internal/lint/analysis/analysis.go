@@ -1,0 +1,59 @@
+// Package analysis is a minimal, dependency-free subset of the
+// golang.org/x/tools/go/analysis API: enough surface (Analyzer, Pass,
+// Diagnostic) for the repo's contract checkers to be written in the standard
+// go/analysis shape, so they can migrate to the real framework verbatim if
+// the x/tools dependency ever becomes available. The container this repo
+// builds in has no module proxy access, so the loader and runner
+// (internal/lint/driver) are implemented on the standard library alone.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one contract-checking pass and how to run it.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// "//lint:allow <name> <reason>" suppression comments. It must be a
+	// valid Go identifier.
+	Name string
+
+	// Doc is the one-paragraph description: the invariant the pass proves
+	// and what a finding means.
+	Doc string
+
+	// Run applies the pass to one package. Findings are delivered through
+	// pass.Report; the returned value is unused by the runner but kept for
+	// x/tools signature compatibility.
+	Run func(pass *Pass) (any, error)
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// Pass is the interface between one Analyzer run and one type-checked
+// package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one finding. The driver owns suppression filtering
+	// (//lint:allow) and aggregation.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one positioned finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}

@@ -1,0 +1,306 @@
+// Package analysistest runs an analyzer over "// want"-annotated testdata
+// packages, mirroring golang.org/x/tools/go/analysis/analysistest on the
+// standard library alone.
+//
+// Corpus layout follows the x/tools convention: testdata/src/<path>/*.go is
+// the package with import path <path>. Imports are resolved testdata-first —
+// a sibling testdata package shadows the world — and then against the real
+// build (stdlib and repro/... alike) through `go list -export` data, so
+// corpora can exercise analyzers against the repo's actual types
+// (sta.Analyzer, flow.Map, ...) without copying their signatures.
+//
+// Expectations are comments of the form
+//
+//	// want "regexp" `another regexp`
+//
+// on the line a diagnostic is expected. Every reported diagnostic must match
+// an expectation on its line and every expectation must be matched.
+// Suppression comments (//lint:allow) are honored exactly as in production:
+// a suppressed diagnostic needs no want and fails the test if one is given.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/driver"
+)
+
+// loader resolves imports testdata-first, then via build-cache export data.
+type loader struct {
+	srcRoot   string // <testdata>/src
+	moduleDir string
+	fset      *token.FileSet
+	local     map[string]*localPkg
+	exports   map[string]string
+	gc        types.Importer
+}
+
+type localPkg struct {
+	pkg  *driver.Package
+	err  error
+	done bool
+}
+
+func newLoader(testdata string) (*loader, error) {
+	src := filepath.Join(testdata, "src")
+	if _, err := os.Stat(src); err != nil {
+		return nil, fmt.Errorf("analysistest: %v", err)
+	}
+	mod, err := findModuleRoot(testdata)
+	if err != nil {
+		return nil, err
+	}
+	l := &loader{
+		srcRoot:   src,
+		moduleDir: mod,
+		fset:      token.NewFileSet(),
+		local:     map[string]*localPkg{},
+		exports:   map[string]string{},
+	}
+	l.gc = importer.ForCompiler(l.fset, "gc", l.lookup)
+	return l, nil
+}
+
+func findModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("analysistest: no go.mod above testdata")
+		}
+		dir = parent
+	}
+}
+
+func (l *loader) lookup(path string) (io.ReadCloser, error) {
+	file, ok := l.exports[path]
+	if !ok {
+		return nil, fmt.Errorf("analysistest: no export data for %q", path)
+	}
+	return os.Open(file)
+}
+
+// exportMu serializes `go list -export` invocations across parallel tests;
+// the build cache makes repeats cheap.
+var exportMu sync.Mutex
+
+// Import implements types.Importer over the testdata-first chain.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if dir := filepath.Join(l.srcRoot, filepath.FromSlash(path)); hasGoFiles(dir) {
+		lp, err := l.loadLocal(path)
+		if err != nil {
+			return nil, err
+		}
+		return lp.Types, nil
+	}
+	if _, ok := l.exports[path]; !ok {
+		exportMu.Lock()
+		more, err := driver.ExportData(l.moduleDir, path)
+		exportMu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+		for k, v := range more {
+			l.exports[k] = v
+		}
+	}
+	return l.gc.Import(path)
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			return true
+		}
+	}
+	return false
+}
+
+// loadLocal parses and type-checks one testdata package (including its
+// *_test.go files, which several corpora use to pin test-file exemptions).
+func (l *loader) loadLocal(path string) (*driver.Package, error) {
+	if lp, ok := l.local[path]; ok {
+		if !lp.done {
+			return nil, fmt.Errorf("analysistest: import cycle through %q", path)
+		}
+		return lp.pkg, lp.err
+	}
+	lp := &localPkg{}
+	l.local[path] = lp
+
+	dir := filepath.Join(l.srcRoot, filepath.FromSlash(path))
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		lp.done, lp.err = true, err
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			lp.done, lp.err = true, err
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := driver.NewInfo()
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		err = fmt.Errorf("analysistest: type-checking %s: %v", path, err)
+		lp.done, lp.err = true, err
+		return nil, err
+	}
+	lp.pkg = driver.NewPackage(path, dir, l.fset, files, tpkg, info)
+	lp.done = true
+	return lp.pkg, nil
+}
+
+// expectation is one want regexp awaiting a matching diagnostic.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+var wantRE = regexp.MustCompile(`(?m)//\s*want\s+(.*)$`)
+
+// parseWants extracts want expectations from every comment in the package.
+func parseWants(fset *token.FileSet, files []*ast.File) ([]*expectation, error) {
+	var out []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimSpace(m[1])
+				for rest != "" {
+					var lit string
+					switch rest[0] {
+					case '"':
+						end := matchEnd(rest, '"')
+						if end < 0 {
+							return nil, fmt.Errorf("%s:%d: unterminated want string", pos.Filename, pos.Line)
+						}
+						lit = rest[:end+1]
+						rest = strings.TrimSpace(rest[end+1:])
+					case '`':
+						end := strings.IndexByte(rest[1:], '`')
+						if end < 0 {
+							return nil, fmt.Errorf("%s:%d: unterminated want string", pos.Filename, pos.Line)
+						}
+						lit = rest[:end+2]
+						rest = strings.TrimSpace(rest[end+2:])
+					default:
+						return nil, fmt.Errorf("%s:%d: want expects quoted regexps, got %q", pos.Filename, pos.Line, rest)
+					}
+					unq, err := strconv.Unquote(lit)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want literal %s: %v", pos.Filename, pos.Line, lit, err)
+					}
+					re, err := regexp.Compile(unq)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, unq, err)
+					}
+					out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: unq})
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// matchEnd returns the index of the closing double quote, honoring escapes.
+func matchEnd(s string, q byte) int {
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case q:
+			return i
+		}
+	}
+	return -1
+}
+
+// Run loads each testdata package, applies the analyzer, and asserts the
+// diagnostics exactly match the // want annotations.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	l, err := newLoader(testdata)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range paths {
+		pkg, err := l.loadLocal(path)
+		if err != nil {
+			t.Errorf("%s: %v", path, err)
+			continue
+		}
+		findings, err := driver.Run([]*driver.Package{pkg}, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Errorf("%s: %v", path, err)
+			continue
+		}
+		wants, err := parseWants(l.fset, pkg.Files)
+		if err != nil {
+			t.Error(err)
+			continue
+		}
+		for _, f := range findings {
+			ok := false
+			for _, w := range wants {
+				if !w.matched && w.file == f.Pos.Filename && w.line == f.Pos.Line && w.re.MatchString(f.Message) {
+					w.matched = true
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				t.Errorf("%s: unexpected diagnostic: %s", path, f)
+			}
+		}
+		for _, w := range wants {
+			if !w.matched {
+				t.Errorf("%s: %s:%d: no diagnostic matching %q", path, w.file, w.line, w.raw)
+			}
+		}
+	}
+}

@@ -1,0 +1,15 @@
+package detrand_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/detrand"
+)
+
+func TestDetrand(t *testing.T) {
+	analysistest.Run(t, "testdata", detrand.Analyzer,
+		"repro/internal/sta", // testdata shadow of the kernel path: in scope
+		"outside",            // not a kernel package: everything allowed
+	)
+}

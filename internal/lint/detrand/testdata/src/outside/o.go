@@ -1,0 +1,14 @@
+// A package outside the kernel list: the service layer may read clocks and
+// use entropy freely, so nothing here is reported.
+package outside
+
+import (
+	"math/rand"
+	"time"
+)
+
+func now() time.Time { return time.Now() }
+
+func jitter() time.Duration {
+	return time.Duration(rand.Intn(100)) * time.Millisecond
+}

@@ -1,0 +1,84 @@
+// Corpus for the deterministic-kernel entropy rules. The import path of
+// this testdata package is repro/internal/sta, so the pass treats it as
+// kernel code.
+package sta
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() time.Time {
+	return time.Now() // want `time\.Now in deterministic kernel package`
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time\.Since in deterministic kernel package`
+}
+
+func globalStream() int {
+	return rand.Intn(10) // want `global math/rand stream \(rand\.Intn\)`
+}
+
+func shuffled(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `global math/rand stream \(rand\.Shuffle\)`
+}
+
+func entropySeed() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `time\.Now in deterministic kernel package` `rand\.NewSource seed must be a constant, a threaded-in variable, or a visible derivation`
+}
+
+func opaqueSource(src rand.Source) *rand.Rand {
+	return rand.New(src) // want `rand\.New must wrap an inline rand\.NewSource\(seed\)`
+}
+
+func laundered(x int64) *rand.Rand {
+	return rand.New(rand.NewSource(mix(x))) // want `rand\.NewSource seed must be a constant, a threaded-in variable, or a visible derivation`
+}
+
+func mix(x int64) int64 { return x*6364136223846793005 + 1442695040888963407 }
+
+// The sanctioned forms.
+
+func constantSeed() *rand.Rand {
+	return rand.New(rand.NewSource(0))
+}
+
+func threadedSeed(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+func derivedSeed(seed int64, die int) *rand.Rand {
+	return rand.New(rand.NewSource(dieSeed(seed, die)))
+}
+
+func splitmixed(z uint64) *rand.Rand {
+	return rand.New(rand.NewSource(splitmix64(z)))
+}
+
+func drawn(rng *rand.Rand) float64 {
+	return rng.NormFloat64() // methods on a private generator are fine
+}
+
+func dieSeed(seed int64, die int) int64 {
+	return splitmix64(uint64(seed) + uint64(die)*0x9e3779b97f4a7c15)
+}
+
+func splitmix64(z uint64) int64 {
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
+}
+
+func suppressed() time.Time {
+	//lint:allow detrand this corpus pins that a reasoned allow silences the clock rule
+	return time.Now()
+}
+
+func reasonless() time.Time {
+	//lint:allow detrand // want `lint:allow detrand needs a reason`
+	return time.Now() // want `time\.Now in deterministic kernel package`
+}

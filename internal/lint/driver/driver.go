@@ -1,0 +1,264 @@
+// Package driver loads type-checked packages and runs analysis passes over
+// them. It is the stdlib-only replacement for the x/tools loader +
+// multichecker pair: package metadata and compiled export data come from
+// `go list -export -deps -json` (so type information for dependencies —
+// stdlib and module-internal alike — is read from the build cache instead of
+// re-type-checking the world from source), and the analyzed packages
+// themselves are parsed with full comments and type-checked with go/types.
+package driver
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Path      string
+	Dir       string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+
+	suppressions []suppression
+}
+
+// listPackage is the subset of `go list -json` output the loader consumes.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// NewInfo returns a types.Info with every map the analyzers rely on
+// allocated.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+}
+
+// goList runs `go list -export -deps -json` in dir over patterns and returns
+// the decoded package stream.
+func goList(dir string, patterns []string) ([]listPackage, error) {
+	args := append([]string{
+		"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Dir,Export,GoFiles,DepOnly,Error",
+		"--",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr strings.Builder
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("driver: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []listPackage
+	dec := json.NewDecoder(strings.NewReader(string(out)))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("driver: decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// exportImporter resolves import paths to compiled export data files
+// reported by `go list -export`.
+type exportImporter map[string]string
+
+func (m exportImporter) lookup(path string) (io.ReadCloser, error) {
+	file, ok := m[path]
+	if !ok {
+		return nil, fmt.Errorf("driver: no export data for %q", path)
+	}
+	return os.Open(file)
+}
+
+// Load lists patterns in module directory dir ("." = current), parses every
+// matched package with comments, and type-checks it against the build
+// cache's export data. All packages share one FileSet so diagnostics from
+// different packages position consistently.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	exports := exportImporter{}
+	var roots []listPackage
+	for _, p := range listed {
+		if p.Error != nil {
+			return nil, fmt.Errorf("driver: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && len(p.GoFiles) > 0 {
+			roots = append(roots, p)
+		}
+	}
+	if len(roots) == 0 {
+		return nil, errors.New("driver: no packages matched")
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", exports.lookup)
+	var out []*Package
+	for _, p := range roots {
+		files := make([]*ast.File, 0, len(p.GoFiles))
+		for _, name := range p.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		info := NewInfo()
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(p.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("driver: type-checking %s: %v", p.ImportPath, err)
+		}
+		pkg := &Package{
+			Path:      p.ImportPath,
+			Dir:       p.Dir,
+			Fset:      fset,
+			Files:     files,
+			Types:     tpkg,
+			TypesInfo: info,
+		}
+		pkg.suppressions = collectSuppressions(fset, files)
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// NewPackage wraps an externally loaded package (the analysistest harness
+// type-checks testdata corpora itself) so Run can analyze it with the same
+// suppression semantics as Load-ed packages.
+func NewPackage(path, dir string, fset *token.FileSet, files []*ast.File, tpkg *types.Package, info *types.Info) *Package {
+	return &Package{
+		Path:         path,
+		Dir:          dir,
+		Fset:         fset,
+		Files:        files,
+		Types:        tpkg,
+		TypesInfo:    info,
+		suppressions: collectSuppressions(fset, files),
+	}
+}
+
+// ExportData resolves patterns (and their full dependency closure) to
+// compiled export data files, for callers that assemble their own importer.
+func ExportData(dir string, patterns ...string) (map[string]string, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]string{}
+	for _, p := range listed {
+		if p.Error != nil {
+			return nil, fmt.Errorf("driver: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			out[p.ImportPath] = p.Export
+		}
+	}
+	return out, nil
+}
+
+// Finding is one unsuppressed diagnostic attributed to its analyzer.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// Run applies every analyzer to every package and returns the surviving
+// findings sorted by position. Diagnostics answered by a well-formed
+// "//lint:allow <analyzer> <reason>" comment on the same or preceding line
+// are dropped; malformed allow comments (missing reason, unknown analyzer
+// name shape) are themselves reported so a suppression can never silently
+// rot.
+func Run(pkgs []*Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		findings = append(findings, pkg.badSuppressions()...)
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+			}
+			seen := map[string]bool{}
+			pass.Report = func(d analysis.Diagnostic) {
+				pos := pkg.Fset.Position(d.Pos)
+				if pkg.suppressed(a.Name, pos) {
+					return
+				}
+				key := fmt.Sprintf("%s|%s|%s", pos, a.Name, d.Message)
+				if seen[key] {
+					return
+				}
+				seen[key] = true
+				findings = append(findings, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
+			}
+			if _, err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("driver: %s on %s: %v", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}

@@ -1,0 +1,94 @@
+package driver
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// suppression is one parsed "//lint:allow <analyzer> <reason>" comment. The
+// syntax is deliberately narrow and greppable: exactly that form, on the
+// same line as the finding or alone on the line directly above it, with a
+// mandatory human-readable reason.
+type suppression struct {
+	file     string
+	line     int
+	analyzer string
+	reason   string
+	pos      token.Pos
+}
+
+const allowPrefix = "//lint:allow"
+
+// collectSuppressions extracts every lint:allow comment in the package.
+func collectSuppressions(fset *token.FileSet, files []*ast.File) []suppression {
+	var out []suppression
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, allowPrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //lint:allowance — not ours
+				}
+				// A nested comment marker ends the reason (the analysistest
+				// corpora put "// want" expectations after an allow).
+				if i := strings.Index(rest, "//"); i >= 0 {
+					rest = rest[:i]
+				}
+				fields := strings.Fields(rest)
+				pos := fset.Position(c.Pos())
+				s := suppression{file: pos.Filename, line: pos.Line, pos: c.Pos()}
+				if len(fields) > 0 {
+					s.analyzer = fields[0]
+				}
+				if len(fields) > 1 {
+					s.reason = strings.Join(fields[1:], " ")
+				}
+				out = append(out, s)
+			}
+		}
+	}
+	return out
+}
+
+// suppressed reports whether a finding from analyzer at pos is answered by a
+// well-formed allow comment on the same line or the line directly above.
+func (p *Package) suppressed(analyzer string, pos token.Position) bool {
+	for _, s := range p.suppressions {
+		if s.analyzer != analyzer || s.reason == "" || s.file != pos.Filename {
+			continue
+		}
+		if s.line == pos.Line || s.line == pos.Line-1 {
+			return true
+		}
+	}
+	return false
+}
+
+// badSuppressions reports allow comments that can never suppress anything:
+// a missing analyzer name or a missing reason. Reporting them as findings
+// keeps the suppression surface honest — an allow without a written-down
+// why fails the build instead of silently masking a contract violation.
+func (p *Package) badSuppressions() []Finding {
+	var out []Finding
+	for _, s := range p.suppressions {
+		switch {
+		case s.analyzer == "":
+			out = append(out, Finding{
+				Analyzer: "lintallow",
+				Pos:      token.Position{Filename: s.file, Line: s.line, Column: 1},
+				Message:  "lint:allow needs an analyzer name and a reason: //lint:allow <analyzer> <reason>",
+			})
+		case s.reason == "":
+			out = append(out, Finding{
+				Analyzer: "lintallow",
+				Pos:      token.Position{Filename: s.file, Line: s.line, Column: 1},
+				Message:  "lint:allow " + s.analyzer + " needs a reason: //lint:allow " + s.analyzer + " <reason>",
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,16 @@
+package lightflow_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/lightflow"
+)
+
+func TestLightflow(t *testing.T) {
+	analysistest.Run(t, "testdata", lightflow.Analyzer,
+		"lightflow/a",
+		"lightflow/structfield",
+		"lightflow/suppress",
+	)
+}

@@ -1,0 +1,58 @@
+// Light timings smuggled through struct fields, containers and interfaces:
+// the flows a plain "trace the variable" reviewer loses track of.
+package structfield
+
+import (
+	"repro/internal/core"
+	"repro/internal/place"
+	"repro/internal/sta"
+)
+
+type holder struct {
+	tm  *sta.Timing
+	sub struct{ t *sta.Timing }
+}
+
+func viaField(an *sta.Analyzer, pl *place.Placement) {
+	var h holder
+	h.tm, _ = an.RunLight(nil, nil)
+	core.NewAllocator(pl, h.tm) // want `light \(Dcrit-only\) re-time flows into`
+}
+
+func viaCompositeLit(an *sta.Analyzer, pl *place.Placement) {
+	tm, _ := an.RunLight(nil, nil)
+	h := holder{tm: tm}
+	core.NewAllocator(pl, h.tm) // want `light \(Dcrit-only\) re-time flows into`
+}
+
+func viaNestedField(an *sta.Analyzer, pl *place.Placement) {
+	var h holder
+	h.sub.t, _ = an.RunLight(nil, nil)
+	core.NewAllocator(pl, h.sub.t) // want `light \(Dcrit-only\) re-time flows into`
+}
+
+func viaInterface(an *sta.Analyzer, pl *place.Placement) {
+	tm, _ := an.RunLight(nil, nil)
+	var box any = tm
+	core.NewAllocator(pl, box.(*sta.Timing)) // want `light \(Dcrit-only\) re-time flows into`
+}
+
+func viaSlice(an *sta.Analyzer, pl *place.Placement) {
+	tm, _ := an.RunLight(nil, nil)
+	dies := []*sta.Timing{tm}
+	core.NewAllocator(pl, dies[0]) // want `light \(Dcrit-only\) re-time flows into`
+}
+
+func pathsViaField(an *sta.Analyzer) int {
+	var h holder
+	h.tm, _ = an.RunLight(nil, nil)
+	return len(h.tm.Paths) // want `reading Paths of a light \(Dcrit-only\) re-time`
+}
+
+// fullViaField: the same shapes with a full Run stay silent.
+func fullViaField(an *sta.Analyzer, pl *place.Placement) int {
+	var h holder
+	h.tm, _ = an.Run(nil, nil)
+	core.NewAllocator(pl, h.tm)
+	return len(h.tm.Paths)
+}

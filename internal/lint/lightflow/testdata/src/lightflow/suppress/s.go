@@ -1,0 +1,32 @@
+// The negative corpus: a well-formed lint:allow silences a finding, a
+// reasonless one is itself reported and suppresses nothing.
+package suppress
+
+import (
+	"repro/internal/core"
+	"repro/internal/place"
+	"repro/internal/sta"
+)
+
+func allowed(an *sta.Analyzer, pl *place.Placement) {
+	tm, _ := an.RunLight(nil, nil)
+	//lint:allow lightflow exercising the guard path: NewAllocator must reject the light timing at runtime
+	core.NewAllocator(pl, tm)
+}
+
+func allowedSameLine(an *sta.Analyzer, pl *place.Placement) {
+	tm, _ := an.RunLight(nil, nil)
+	core.NewAllocator(pl, tm) //lint:allow lightflow exercising the runtime guard on purpose
+}
+
+func reasonless(an *sta.Analyzer, pl *place.Placement) {
+	tm, _ := an.RunLight(nil, nil)
+	//lint:allow lightflow // want `lint:allow lightflow needs a reason`
+	core.NewAllocator(pl, tm) // want `light \(Dcrit-only\) re-time flows into`
+}
+
+func wrongAnalyzer(an *sta.Analyzer, pl *place.Placement) {
+	tm, _ := an.RunLight(nil, nil)
+	//lint:allow detrand an allow for a different analyzer must not leak across passes
+	core.NewAllocator(pl, tm) // want `light \(Dcrit-only\) re-time flows into`
+}

@@ -1,0 +1,86 @@
+// Package lintutil holds the type- and AST-resolution helpers shared by the
+// contract analyzers.
+package lintutil
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Callee resolves the static callee of a call expression: a package-level
+// function or a concrete method reached through a selector. It returns nil
+// for dynamic calls (function-typed variables, interface methods whose
+// static object is still a *types.Func — those ARE returned — means: nil
+// only when no *types.Func can be named) and for type conversions.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	case *ast.IndexExpr: // generic instantiation f[T](...)
+		if id, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			fn, _ := info.Uses[id].(*types.Func)
+			return fn
+		}
+	}
+	return nil
+}
+
+// IsConversion reports whether call is a type conversion, e.g. T(x).
+func IsConversion(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call.Fun]
+	return ok && tv.IsType()
+}
+
+// NamedPath returns "pkgpath.Name" for a (possibly pointered, possibly
+// aliased) named type, or "" for everything else.
+func NamedPath(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return ""
+	}
+	return n.Obj().Pkg().Path() + "." + n.Obj().Name()
+}
+
+// RootIdent strips selectors, indexes, slices, derefs, parens and type
+// assertions off an expression and returns the base identifier, or nil.
+func RootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.TypeAssertExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// ObjectOf resolves an identifier to its object through Uses then Defs.
+func ObjectOf(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}

@@ -1,0 +1,12 @@
+package scratchbuf_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/scratchbuf"
+)
+
+func TestScratchbuf(t *testing.T) {
+	analysistest.Run(t, "testdata", scratchbuf.Analyzer, "scratchbuf/a")
+}

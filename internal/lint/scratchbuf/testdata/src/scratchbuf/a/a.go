@@ -1,0 +1,107 @@
+// Corpus for the reused-buffer retention rules. Timing stands in for the
+// repo's scratch-carrying result types (sta.Timing, core.Instance).
+package a
+
+type Timing struct {
+	Arr   []float64
+	Paths []int
+}
+
+type cache struct {
+	kept  *Timing
+	slice []float64
+}
+
+var (
+	globalTiming *Timing
+	globalSlice  []float64
+)
+
+func fieldRetain(c *cache, buf *Timing) {
+	c.kept = buf // want `scratch buffer retained in field c\.kept`
+}
+
+func fieldRetainAlias(c *cache, buf *Timing) {
+	tm := buf
+	c.kept = tm // want `scratch buffer retained in field c\.kept`
+}
+
+func interiorFieldRetain(c *cache, buf *Timing) {
+	c.slice = buf.Arr // want `scratch buffer retained in field c\.slice`
+}
+
+func globalRetain(buf *Timing) {
+	globalTiming = buf // want `scratch buffer stored in package-level variable globalTiming`
+}
+
+func globalSliceRetain(buf []float64) {
+	globalSlice = buf[2:] // want `scratch buffer stored in package-level variable globalSlice`
+}
+
+func chainedAlias(buf []float64) {
+	sub := buf[1:]
+	deeper := sub[1:]
+	globalSlice = deeper // want `scratch buffer stored in package-level variable globalSlice`
+}
+
+func send(ch chan []float64, buf []float64) {
+	ch <- buf // want `scratch buffer sent on a channel`
+}
+
+func spawnCapture(buf *Timing) {
+	go func() {
+		buf.Arr[0] = 1 // want `scratch buffer buf captured by a spawned goroutine`
+	}()
+}
+
+func spawnArg(work func([]float64), buf []float64) {
+	go work(buf) // want `scratch buffer passed to a spawned goroutine`
+}
+
+func interiorReturn(buf *Timing) []int {
+	return buf.Paths // want `interior alias of a scratch buffer returned`
+}
+
+func ifaceReturn(buf []float64) any {
+	return buf // want `scratch buffer returned through an interface-typed result`
+}
+
+func containerStore(dst map[int][]float64, buf []float64) {
+	dst[0] = buf // want `scratch buffer stored into a container that outlives the call`
+}
+
+// The sanctioned shapes: handoff, grow, regrow, write-into.
+
+func handoff(scale []float64, buf *Timing) *Timing {
+	tm := buf
+	if tm == nil {
+		tm = &Timing{}
+	}
+	tm.Arr = grow(tm.Arr, len(scale)) // writing into the buffer is the point
+	return tm
+}
+
+func grow(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+func regrow(buf []float64, v float64) []float64 {
+	return append(buf, v)
+}
+
+func deferredUse(buf *Timing) {
+	defer func() { buf.Arr = buf.Arr[:0] }() // defers run in-frame: fine
+}
+
+func suppressed(c *cache, buf *Timing) {
+	//lint:allow scratchbuf c is the per-worker pool slot that owns this buffer between calls
+	c.kept = buf
+}
+
+func reasonlessSuppressed(c *cache, buf *Timing) {
+	//lint:allow scratchbuf // want `lint:allow scratchbuf needs a reason`
+	c.kept = buf // want `scratch buffer retained in field c\.kept`
+}

@@ -1,0 +1,12 @@
+package workerstate_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/workerstate"
+)
+
+func TestWorkerstate(t *testing.T) {
+	analysistest.Run(t, "testdata", workerstate.Analyzer, "workerstate/a")
+}

@@ -54,13 +54,8 @@ func TestConcurrentIdenticalRequestsBuildPrefixOnce(t *testing.T) {
 	}
 	// The winner is parked in the gate; wait until the other n-1 have
 	// joined its in-flight entry, then release.
-	deadline := time.Now().Add(10 * time.Second)
-	for s.cache.Stats().Hits < n-1 {
-		if time.Now().After(deadline) {
-			t.Fatalf("only %d of %d requests joined the in-flight build", s.cache.Stats().Hits, n-1)
-		}
-		time.Sleep(time.Millisecond)
-	}
+	waitFor(t, 10*time.Second, func() bool { return s.cache.Stats().Hits >= n-1 },
+		"not all %d requests joined the in-flight build", n-1)
 	close(gate)
 	wg.Wait()
 

@@ -42,13 +42,8 @@ func TestPrefixCacheCoalescesConcurrentBuilds(t *testing.T) {
 	}
 	// Wait until the loser goroutines have joined the in-flight entry,
 	// then let the winner finish.
-	deadline := time.Now().Add(5 * time.Second)
-	for c.Stats().Hits < n-1 {
-		if time.Now().After(deadline) {
-			t.Fatalf("only %d joins after 5s", c.Stats().Hits)
-		}
-		time.Sleep(time.Millisecond)
-	}
+	waitFor(t, 5*time.Second, func() bool { return c.Stats().Hits >= n-1 },
+		"not all loser goroutines joined the in-flight entry")
 	close(gate)
 	wg.Wait()
 	if got := builds.Load(); got != 1 {
@@ -219,13 +214,8 @@ func TestBackpressureShedsWith503(t *testing.T) {
 		errCh <- err
 	}()
 	// Wait for the first request to be admitted and block in its build.
-	deadline := time.Now().Add(5 * time.Second)
-	for s.inFlight.Load() == 0 {
-		if time.Now().After(deadline) {
-			t.Fatal("first request never admitted")
-		}
-		time.Sleep(time.Millisecond)
-	}
+	waitFor(t, 5*time.Second, func() bool { return s.inFlight.Load() > 0 },
+		"first request never admitted")
 
 	_, err := c.Tune(context.Background(), TuneRequest{DesignRef: DesignRef{Benchmark: "c1355"}})
 	var apiErr *APIError
@@ -258,13 +248,8 @@ func TestQueuedRequestRunsAfterWorkerFrees(t *testing.T) {
 		_, err := c.Tune(context.Background(), TuneRequest{DesignRef: DesignRef{Netlist: chainBench(8)}})
 		first <- err
 	}()
-	deadline := time.Now().Add(5 * time.Second)
-	for s.inFlight.Load() == 0 {
-		if time.Now().After(deadline) {
-			t.Fatal("first request never admitted")
-		}
-		time.Sleep(time.Millisecond)
-	}
+	waitFor(t, 5*time.Second, func() bool { return s.inFlight.Load() > 0 },
+		"first request never admitted")
 	// Second request queues (depth 1); it must complete once the gate
 	// opens, not shed. Its build also passes the gate: same channel, but
 	// by then it is closed.
@@ -273,12 +258,8 @@ func TestQueuedRequestRunsAfterWorkerFrees(t *testing.T) {
 		_, err := c.Tune(context.Background(), TuneRequest{DesignRef: DesignRef{Netlist: chainBench(9)}})
 		second <- err
 	}()
-	for len(s.queueSem) == 0 {
-		if time.Now().After(deadline) {
-			t.Fatal("second request never queued")
-		}
-		time.Sleep(time.Millisecond)
-	}
+	waitFor(t, 5*time.Second, func() bool { return len(s.queueSem) > 0 },
+		"second request never queued")
 	// Third request finds worker busy and queue full: shed.
 	_, err := c.Tune(context.Background(), TuneRequest{DesignRef: DesignRef{Benchmark: "c1355"}})
 	var apiErr *APIError
@@ -301,13 +282,8 @@ func TestDrainRejectsNewAndFinishesInFlight(t *testing.T) {
 		_, err := c.Tune(context.Background(), TuneRequest{DesignRef: DesignRef{Netlist: chainBench(8)}})
 		inflight <- err
 	}()
-	deadline := time.Now().Add(5 * time.Second)
-	for s.inFlight.Load() == 0 {
-		if time.Now().After(deadline) {
-			t.Fatal("request never admitted")
-		}
-		time.Sleep(time.Millisecond)
-	}
+	waitFor(t, 5*time.Second, func() bool { return s.inFlight.Load() > 0 },
+		"request never admitted")
 
 	s.BeginDrain()
 	_, err := c.Tune(context.Background(), TuneRequest{DesignRef: DesignRef{Benchmark: "c1355"}})

@@ -7,7 +7,22 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 )
+
+// waitFor polls cond every millisecond until it holds, failing the test with
+// the formatted message if it does not within timeout. It replaces hand-rolled
+// time.Now deadline loops so each test states only its condition.
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool, format string, args ...any) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf(format, args...)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
 
 // newTestServer spins up a Server behind httptest and returns it with a
 // matching Client.
