@@ -268,9 +268,14 @@ func printReport(w io.Writer, samples []sample, elapsed time.Duration, dispatche
 	for _, s := range samples {
 		byEP[s.endpoint] = append(byEP[s.endpoint], s)
 	}
+	// Headline rates name their denominators: dispatched counts what the
+	// pacer actually sent, completed counts samples that came back. Mixing
+	// them (dispatched count beside a completed-samples rate) would let a
+	// shedding or drop-heavy run read as a merely slow one.
 	t := report.New(
-		fmt.Sprintf("fbbload — %d requests in %s (%.1f req/s achieved, %d client drops)",
-			dispatched, elapsed.Round(time.Millisecond), float64(len(samples))/elapsed.Seconds(), clientDrops),
+		fmt.Sprintf("fbbload — %d dispatched, %d completed in %s (%.1f req/s dispatched, %.1f req/s completed, %d client drops)",
+			dispatched, len(samples), elapsed.Round(time.Millisecond),
+			float64(dispatched)/elapsed.Seconds(), float64(len(samples))/elapsed.Seconds(), clientDrops),
 		"endpoint", "count", "ok", "shed", "errors", "p50", "p90", "p99", "max")
 	for _, ep := range endpoints {
 		ss := byEP[ep]

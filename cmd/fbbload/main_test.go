@@ -34,9 +34,32 @@ func TestLoadMixedTraffic(t *testing.T) {
 	if err != nil {
 		t.Fatalf("run: %v\n%s", err, out)
 	}
-	for _, want := range []string{"endpoint", "tune", "p50", "p99", "req/s achieved"} {
+	for _, want := range []string{"endpoint", "tune", "p50", "p99", "req/s dispatched", "req/s completed"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestReportSeparatesDenominators: the headline must report the dispatched
+// and completed counts (and rates) as distinct numbers — a run that drops or
+// sheds half its traffic must not present the dispatched count beside a
+// completed-samples rate, where shedding reads as slowness.
+func TestReportSeparatesDenominators(t *testing.T) {
+	samples := []sample{
+		{endpoint: "tune", latency: 10 * time.Millisecond},
+		{endpoint: "tune", latency: 20 * time.Millisecond, shed: true},
+	}
+	var out bytes.Buffer
+	printReport(&out, samples, 2*time.Second, 10, 3)
+	head := out.String()
+	for _, want := range []string{
+		"10 dispatched", "2 completed",
+		"5.0 req/s dispatched", "1.0 req/s completed",
+		"3 client drops",
+	} {
+		if !strings.Contains(head, want) {
+			t.Errorf("headline missing %q:\n%s", want, head)
 		}
 	}
 }

@@ -469,7 +469,7 @@ func (r *Runner) Yield(name string, dies int, seed int64) (*variation.YieldStats
 	}
 	return variation.YieldStudyOn(r.context(), pfx.Analyzer, pfx.Allocator, pfx.Timing,
 		tech.Default45nm(), variation.Default(), dies, seed,
-		variation.TuneOptions{GuardbandPct: 0.005, Workers: r.parallel})
+		variation.TuneOptions{GuardbandPct: 0.005, Workers: r.parallel, SolveCache: pfx.Solves})
 }
 
 // Yield runs the Monte-Carlo post-silicon tuning study with one tuning

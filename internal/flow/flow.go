@@ -47,6 +47,13 @@ type Prefix struct {
 	// it is immutable and shared; each worker keeps its own core.Instance
 	// scratch.
 	Allocator *core.Allocator
+	// Solves is the prefix-level allocation-solve cache over Allocator:
+	// population studies hand it to variation.TuneOptions.SolveCache so
+	// the monitor-quantized first-iteration solves are shared across
+	// workers, streams and requests — the first yield study against this
+	// prefix warms it for every later one. The cache is concurrency-safe;
+	// like everything else here it is shared, never rebuilt.
+	Solves *core.SolveCache
 }
 
 // Engine memoizes flow prefixes. The zero value is not usable; construct
@@ -130,5 +137,5 @@ func PrefixFor(d *netlist.Design, lib *cell.Library, forceRows int) (*Prefix, er
 	if err != nil {
 		return nil, err
 	}
-	return &Prefix{Design: d, Placement: pl, Timing: tm, Analyzer: an, Allocator: al}, nil
+	return &Prefix{Design: d, Placement: pl, Timing: tm, Analyzer: an, Allocator: al, Solves: core.NewSolveCache(al)}, nil
 }

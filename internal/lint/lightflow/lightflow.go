@@ -47,6 +47,7 @@ var Analyzer = &analysis.Analyzer{
 // sources are the light re-time producers, by (*types.Func).FullName.
 var sources = map[string]bool{
 	"(*repro/internal/sta.Analyzer).RunLight":                  true,
+	"(*repro/internal/sta.TimingBatch).DieInto":                true,
 	"(*repro/internal/variation.Retimer).TimeLight":            true,
 	"(*repro/internal/variation.Retimer).TimeWithBiasLight":    true,
 	"(*repro/internal/variation.Retimer).TimeUniformBiasLight": true,

@@ -53,7 +53,8 @@ var Analyzer = &analysis.Analyzer{
 // the indices of their scratch parameters, for buffers whose names are
 // domain words rather than buf/scratch.
 var KnownScratch = map[string][]int{
-	"(*repro/internal/variation.Sampler).SampleInto": {0}, // die is the reused per-worker buffer
+	"(*repro/internal/variation.Sampler).SampleInto":      {0}, // die is the reused per-worker buffer
+	"(*repro/internal/variation.Sampler).SampleBlockInto": {0}, // blk is the reused per-worker SoA block
 }
 
 func run(pass *analysis.Pass) (any, error) {

@@ -41,11 +41,13 @@ var Analyzer = &analysis.Analyzer{
 // holders.
 var workerScoped = map[string]bool{
 	"repro/internal/sta.Timing":          true,
+	"repro/internal/sta.TimingBatch":     true,
 	"repro/internal/core.Instance":       true,
 	"repro/internal/variation.Retimer":   true,
 	"repro/internal/variation.Tuner":     true,
 	"repro/internal/variation.Sampler":   true,
 	"repro/internal/variation.LeakModel": true,
+	"repro/internal/variation.DieBlock":  true,
 }
 
 func run(pass *analysis.Pass) (any, error) {

@@ -94,6 +94,12 @@ type YieldRequest struct {
 	// CPU, 1 = sequential). The aggregate statistics are identical at any
 	// setting.
 	Workers int `json:"workers,omitempty"`
+	// TargetCI opts into adaptive termination: when positive, the study
+	// stops once the 95% Wilson interval half-width on the recovered-yield
+	// fraction reaches it (a fraction; 0.01 = ±1 yield point), and the
+	// footer's dies field reports how many dies actually ran. Dies then
+	// acts as the sample-size cap. Default 0: exactly Dies dies run.
+	TargetCI float64 `json:"targetCI,omitempty"`
 }
 
 // DieResult is one die's tuning outcome: a /v1/tune die-mode response body
@@ -302,6 +308,9 @@ func (q *YieldRequest) validate(maxDies int) *apiError {
 	}
 	if q.Workers < 0 || q.Workers > 256 {
 		return badRequest("workers %d out of range [0, 256]", q.Workers)
+	}
+	if q.TargetCI < 0 || q.TargetCI > 0.5 {
+		return badRequest("targetCI %g out of range [0, 0.5]", q.TargetCI)
 	}
 	return nil
 }

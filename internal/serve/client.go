@@ -133,22 +133,25 @@ func (c *Client) Yield(ctx context.Context, req YieldRequest, onDie func(*DieRes
 		if len(line) == 0 {
 			continue
 		}
-		// The footer and the terminal error object are the only
-		// non-die lines; the encoder emits their discriminating key
-		// first, so a prefix check suffices.
-		switch {
-		case bytes.HasPrefix(line, []byte(`{"stats"`)):
-			var footer YieldFooter
-			if err := json.Unmarshal(line, &footer); err != nil {
-				return nil, fmt.Errorf("fbbd: bad stream footer: %w", err)
-			}
-			return footer.Stats, nil
-		case bytes.HasPrefix(line, []byte(`{"error"`)):
-			var e ErrorResponse
-			if err := json.Unmarshal(line, &e); err != nil {
-				return nil, fmt.Errorf("fbbd: bad stream error: %w", err)
-			}
-			return nil, &APIError{StatusCode: resp.StatusCode, Message: e.Error}
+		// The footer and the terminal error object are the only non-die
+		// lines. Discriminate by decoding a probe of their marker keys —
+		// no DieResult field is named "stats" or "error", and a marker
+		// identifies its line wherever the encoder put the key, so the
+		// classification survives any server-side field reordering
+		// (a raw byte-prefix check would silently misread the footer as
+		// a die line the day the wire order changed).
+		var probe struct {
+			Stats *YieldStatsJSON `json:"stats"`
+			Error *string         `json:"error"`
+		}
+		if err := json.Unmarshal(line, &probe); err != nil {
+			return nil, fmt.Errorf("fbbd: bad stream line: %w", err)
+		}
+		if probe.Stats != nil {
+			return probe.Stats, nil
+		}
+		if probe.Error != nil {
+			return nil, &APIError{StatusCode: resp.StatusCode, Message: *probe.Error}
 		}
 		var die DieResult
 		if err := json.Unmarshal(line, &die); err != nil {

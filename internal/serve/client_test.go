@@ -1,0 +1,130 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// ndjsonServer returns a Client against a stub that answers every POST with
+// the given NDJSON lines verbatim.
+func ndjsonServer(t *testing.T, lines ...string) *Client {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		for _, l := range lines {
+			fmt.Fprintln(w, l)
+		}
+	}))
+	t.Cleanup(ts.Close)
+	return NewClient(ts.URL)
+}
+
+// TestYieldClientSurvivesFieldReordering: the stream classifier must key on
+// the marker fields themselves, not on the byte position the server's
+// encoder happened to put them — a die line, footer, and error line with
+// their keys shuffled (and unknown keys added) must still parse correctly.
+func TestYieldClientSurvivesFieldReordering(t *testing.T) {
+	c := ndjsonServer(t,
+		// Die line with "die" not first and an unknown trailing field.
+		`{"seed":42,"die":0,"betaActual":0.01,"betaSensed":0.01,"met":true,"iters":0,"dcritBeforePS":1,"dcritAfterPS":1,"leakBeforeNW":2,"leakAfterNW":2,"future":"x"}`,
+		// Footer whose "stats" key is not the first byte.
+		`{"futureField":1,"stats":{"dies":1,"metBefore":1,"metAfter":1,"yieldBeforePct":100,"yieldAfterPct":100,"meanBetaPct":1,"worstBetaPct":1,"meanLeakBeforeNW":2,"meanLeakAfterNW":2,"meanLeakTunedOnlyNW":0,"tunedDies":0,"failedCompensations":0,"meanTuneIters":0,"meanClustersPerTuned":0}}`,
+	)
+	var dies []*DieResult
+	stats, err := c.Yield(context.Background(), YieldRequest{}, func(d *DieResult) error {
+		dies = append(dies, d)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dies) != 1 || dies[0].Die != 0 || dies[0].Seed != 42 {
+		t.Fatalf("die lines misparsed: %+v", dies)
+	}
+	if stats == nil || stats.Dies != 1 || stats.MetAfter != 1 {
+		t.Fatalf("footer misparsed: %+v", stats)
+	}
+
+	// A reordered mid-stream error object must still surface as APIError.
+	c = ndjsonServer(t,
+		`{"die":0,"seed":1,"betaActual":0,"betaSensed":0,"met":true,"iters":0,"dcritBeforePS":1,"dcritAfterPS":1,"leakBeforeNW":1,"leakAfterNW":1}`,
+		`{"detail":"ignored","error":"study exploded"}`,
+	)
+	_, err = c.Yield(context.Background(), YieldRequest{}, nil)
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Message != "study exploded" {
+		t.Fatalf("mid-stream error misparsed: %v", err)
+	}
+}
+
+// TestYieldClientMalformedStream: broken streams fail loudly — garbage
+// lines, truncated streams with no footer, and non-JSON noise must produce
+// errors, never a silent nil-stats success.
+func TestYieldClientMalformedStream(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		lines   []string
+		wantErr string
+	}{
+		{"garbage line", []string{`{"die":0`}, "bad stream line"},
+		{"non-json noise", []string{`<html>proxy error</html>`}, "bad stream line"},
+		{"no footer", []string{
+			`{"die":0,"seed":1,"betaActual":0,"betaSensed":0,"met":true,"iters":0,"dcritBeforePS":1,"dcritAfterPS":1,"leakBeforeNW":1,"leakAfterNW":1}`,
+		}, "without a stats footer"},
+		{"empty stream", nil, "without a stats footer"},
+	} {
+		c := ndjsonServer(t, tc.lines...)
+		stats, err := c.Yield(context.Background(), YieldRequest{}, nil)
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: err %v, want %q", tc.name, err, tc.wantErr)
+		}
+		if stats != nil {
+			t.Errorf("%s: returned stats %+v from a broken stream", tc.name, stats)
+		}
+	}
+}
+
+// TestYieldAdaptiveTargetCI: end to end, targetCI truncates the study — the
+// footer reports the dies actually run, the stream carries exactly that many
+// die lines, and the same request without targetCI runs the full count.
+func TestYieldAdaptiveTargetCI(t *testing.T) {
+	_, c := newTestServer(t, Options{})
+	req := YieldRequest{
+		DesignRef: DesignRef{Netlist: chainBench(16)},
+		Dies:      100, Seed: 11, TargetCI: 0.2,
+	}
+	var lines int
+	stats, err := c.Yield(context.Background(), req, func(d *DieResult) error {
+		lines++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Dies >= 100 || stats.Dies < 2 {
+		t.Fatalf("adaptive study ran %d dies of 100; truncation broken", stats.Dies)
+	}
+	if lines != stats.Dies {
+		t.Fatalf("%d die lines for a %d-die footer", lines, stats.Dies)
+	}
+
+	req.TargetCI = 0
+	req.Dies = 30
+	stats, err = c.Yield(context.Background(), req, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Dies != 30 {
+		t.Fatalf("default-off study ran %d of 30 dies", stats.Dies)
+	}
+
+	req.TargetCI = 0.7
+	if _, err := c.Yield(context.Background(), req, nil); err == nil {
+		t.Error("out-of-range targetCI accepted")
+	}
+}

@@ -359,6 +359,7 @@ func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
 		MaxBiasPairs: req.MaxBiasPairs,
 		MaxIters:     req.Die.MaxIters,
 		Solver:       solver,
+		SolveCache:   pfx.Solves,
 	}
 	if opts.GuardbandPct == 0 {
 		opts.GuardbandPct = defaultGuardbandPct
@@ -410,6 +411,8 @@ func (s *Server) handleYield(w http.ResponseWriter, r *http.Request) {
 		MaxIters:     req.MaxIters,
 		Workers:      req.Workers,
 		Solver:       solver,
+		TargetCI:     req.TargetCI,
+		SolveCache:   pfx.Solves,
 	}
 	if opts.GuardbandPct == 0 {
 		opts.GuardbandPct = defaultGuardbandPct

@@ -1,0 +1,187 @@
+package sta
+
+import (
+	"fmt"
+
+	"repro/internal/place"
+)
+
+// TimingBatch is the Dcrit-only re-timing of a batch of dies through one
+// Analyzer: W lanes of GateDelayPS/ArrPS/TailPS stored lane-contiguous
+// ([g*W+d] for gate g, die d) and one DcritPS per die. It is the batch form
+// of a Light Timing — no paths are ever extracted — and follows the same
+// buffer contract: RunLightBatch reuses the slices call to call, so a batch
+// must not be shared between concurrent calls, and the previous batch held
+// in the same buffer is invalidated.
+type TimingBatch struct {
+	Pl   *place.Placement
+	Opts Options
+
+	// W is the number of die lanes of the current batch.
+	W int
+	// GateDelayPS/ArrPS/TailPS are the per-gate vectors of every lane,
+	// indexed [g*W+d]; bit-identical to what RunLight computes for die d
+	// alone.
+	GateDelayPS []float64
+	ArrPS       []float64
+	TailPS      []float64
+	// DcritPS is the critical path delay of every die.
+	DcritPS []float64
+
+	// acc is the per-gate lane accumulator of the forward/backward sweeps.
+	acc []float64
+}
+
+// RunLightBatch re-times w dies at once, each with its own per-gate delay
+// scale, into buf (nil allocates a fresh TimingBatch). scale is die-major:
+// die d's scale vector is scale[d*n : (d+1)*n] for n = NumGates — the layout
+// a die-major SoA sampler produces — and is transposed into the batch's
+// lane-contiguous arrays on entry.
+//
+// Per die, the float operations are exactly RunLight's: the forward and
+// backward sweeps visit gates in the same topological order and reduce each
+// gate's fanin/fanout in the same pin order, and DcritPS accumulates over
+// gates in index order, so lane d of the batch is bit-identical to
+// RunLight(scale[d*n:(d+1)*n], ...). What the batch buys is structure
+// amortization: the per-gate topo lookups, CSR slice bounds and
+// setup-vs-combinational branches are paid once per gate instead of once
+// per gate per die, and the inner lane loops are branch-light contiguous
+// sweeps.
+func (a *Analyzer) RunLightBatch(scale []float64, w int, buf *TimingBatch) (*TimingBatch, error) {
+	n := len(a.nomDelayPS)
+	if w <= 0 {
+		return nil, fmt.Errorf("sta: batch width %d, want >= 1", w)
+	}
+	if len(scale) != n*w {
+		return nil, fmt.Errorf("sta: batch DelayScale length %d, want %d (%d dies x %d gates)", len(scale), n*w, w, n)
+	}
+	tb := buf
+	if tb == nil {
+		tb = &TimingBatch{}
+	}
+	tb.Pl = a.pl
+	tb.Opts = a.opts
+	tb.W = w
+	tb.GateDelayPS = growFloat(tb.GateDelayPS, n*w)
+	tb.ArrPS = growFloat(tb.ArrPS, n*w)
+	tb.TailPS = growFloat(tb.TailPS, n*w)
+	tb.DcritPS = growFloat(tb.DcritPS, w)
+	tb.acc = growFloat(tb.acc, w)
+
+	// Transpose the die-major scale into lane-contiguous scaled delays:
+	// gd[g*W+d] = nom[g] * scale[d*n+g].
+	gd := tb.GateDelayPS
+	for d := 0; d < w; d++ {
+		row := scale[d*n : (d+1)*n]
+		for g, s := range row {
+			gd[g*w+d] = a.nomDelayPS[g] * s
+		}
+	}
+
+	arr := tb.ArrPS
+	acc := tb.acc[:w]
+
+	// Forward pass: per-lane arrival maxima in pin order, then one add of
+	// the gate delay — the same float ops per lane as RunLight.
+	for _, g := range a.topo {
+		for d := range acc {
+			acc[d] = 0
+		}
+		for _, p := range a.preds[a.predStart[g]:a.predStart[g+1]] {
+			lane := arr[int(p)*w : int(p)*w+w]
+			for d, v := range lane {
+				if v > acc[d] {
+					acc[d] = v
+				}
+			}
+		}
+		out := arr[int(g)*w : int(g)*w+w]
+		del := gd[int(g)*w : int(g)*w+w]
+		for d := range out {
+			out[d] = acc[d] + del[d]
+		}
+	}
+
+	// Backward pass: per-lane tail maxima in fanout order. A flip-flop
+	// consumer contributes its (lane-invariant) setup time, compared in
+	// the same position of each lane's reduction as in RunLight.
+	tail := tb.TailPS
+	for i := len(a.topo) - 1; i >= 0; i-- {
+		g := a.topo[i]
+		for d := range acc {
+			acc[d] = 0
+		}
+		for k := a.succStart[g]; k < a.succStart[g+1]; k++ {
+			if setup := a.succSetupPS[k]; setup >= 0 {
+				for d := range acc {
+					if setup > acc[d] {
+						acc[d] = setup
+					}
+				}
+				continue
+			}
+			f := int(a.succs[k])
+			fd := gd[f*w : f*w+w]
+			ft := tail[f*w : f*w+w]
+			for d := range acc {
+				if cand := fd[d] + ft[d]; cand > acc[d] {
+					acc[d] = cand
+				}
+			}
+		}
+		copy(tail[int(g)*w:int(g)*w+w], acc)
+	}
+
+	// Critical delays, accumulated over gates in index order exactly like
+	// the shared dcrit reduction.
+	dc := tb.DcritPS[:w]
+	for d := range dc {
+		dc[d] = 0
+	}
+	for g := 0; g < n; g++ {
+		ga := arr[g*w : g*w+w]
+		gt := tail[g*w : g*w+w]
+		for d := range dc {
+			if t := ga[d] + gt[d]; t > dc[d] {
+				dc[d] = t
+			}
+		}
+	}
+	return tb, nil
+}
+
+// NumGates returns the per-lane gate count of the current batch.
+func (tb *TimingBatch) NumGates() int {
+	if tb.W == 0 {
+		return 0
+	}
+	return len(tb.GateDelayPS) / tb.W
+}
+
+// DieInto gathers lane d of the batch into buf as a light Timing (nil
+// allocates a fresh one): GateDelayPS/ArrPS/TailPS/DcritPS are the lane's
+// values — bit-identical to a scalar RunLight of that die — with Light set
+// and no Paths. It is the bridge to scalar consumers (generic sensors, the
+// per-die tuning tail) and follows the usual reused-buffer contract.
+func (tb *TimingBatch) DieInto(d int, buf *Timing) *Timing {
+	tm := buf
+	if tm == nil {
+		tm = &Timing{}
+	}
+	n := tb.NumGates()
+	w := tb.W
+	tm.Pl = tb.Pl
+	tm.Opts = tb.Opts
+	tm.Light = true
+	tm.Paths = tm.Paths[:0]
+	tm.GateDelayPS = growFloat(tm.GateDelayPS, n)
+	tm.ArrPS = growFloat(tm.ArrPS, n)
+	tm.TailPS = growFloat(tm.TailPS, n)
+	for g := 0; g < n; g++ {
+		tm.GateDelayPS[g] = tb.GateDelayPS[g*w+d]
+		tm.ArrPS[g] = tb.ArrPS[g*w+d]
+		tm.TailPS[g] = tb.TailPS[g*w+d]
+	}
+	tm.DcritPS = tb.DcritPS[d]
+	return tm
+}

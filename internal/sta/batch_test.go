@@ -1,0 +1,118 @@
+package sta
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestRunLightBatchMatchesRunLight: every lane of a batched re-timing must
+// be bit-identical to a scalar RunLight of that die — per-gate delays,
+// arrivals, tails, and the critical delay — across random DAGs, widths, and
+// a lane of nominal (all-ones) scale mixed among perturbed ones.
+func TestRunLightBatchMatchesRunLight(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		pl := randomPlacement(t, 400+seed)
+		a, err := NewAnalyzer(pl, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := len(pl.Design.Gates)
+		rng := rand.New(rand.NewSource(seed))
+		var tb *TimingBatch
+		var lightBuf, laneBuf *Timing
+		for _, w := range []int{1, 2, 3, 7, 16} {
+			scale := make([]float64, n*w)
+			for i := range scale {
+				scale[i] = 0.8 + 0.5*rng.Float64()
+			}
+			if w > 1 {
+				// Lane 1 at exactly nominal: the all-ones product must
+				// still match the scalar path bit for bit.
+				for g := 0; g < n; g++ {
+					scale[n+g] = 1
+				}
+			}
+			tb, err = a.RunLightBatch(scale, w, tb)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tb.W != w || tb.NumGates() != n {
+				t.Fatalf("seed %d w %d: batch shape (%d, %d)", seed, w, tb.W, tb.NumGates())
+			}
+			for d := 0; d < w; d++ {
+				lightBuf, err = a.RunLight(scale[d*n:(d+1)*n], lightBuf)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if tb.DcritPS[d] != lightBuf.DcritPS {
+					t.Fatalf("seed %d w %d lane %d: Dcrit %v, want %v",
+						seed, w, d, tb.DcritPS[d], lightBuf.DcritPS)
+				}
+				for g := 0; g < n; g++ {
+					if tb.GateDelayPS[g*w+d] != lightBuf.GateDelayPS[g] ||
+						tb.ArrPS[g*w+d] != lightBuf.ArrPS[g] ||
+						tb.TailPS[g*w+d] != lightBuf.TailPS[g] {
+						t.Fatalf("seed %d w %d lane %d gate %d: (%v, %v, %v), want (%v, %v, %v)",
+							seed, w, d, g,
+							tb.GateDelayPS[g*w+d], tb.ArrPS[g*w+d], tb.TailPS[g*w+d],
+							lightBuf.GateDelayPS[g], lightBuf.ArrPS[g], lightBuf.TailPS[g])
+					}
+				}
+				// The gathered lane is the scalar light Timing.
+				laneBuf = tb.DieInto(d, laneBuf)
+				requireTimingEqual(t, lightBuf, laneBuf, "DieInto lane")
+				if !laneBuf.Light || len(laneBuf.Paths) != 0 {
+					t.Fatalf("DieInto lane is not a light, path-free timing")
+				}
+			}
+		}
+	}
+}
+
+// TestRunLightBatchValidation: width and scale-length mismatches are
+// structural errors, not silent truncations.
+func TestRunLightBatchValidation(t *testing.T) {
+	pl := randomPlacement(t, 401)
+	a, err := NewAnalyzer(pl, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(pl.Design.Gates)
+	if _, err := a.RunLightBatch(make([]float64, n), 0, nil); err == nil {
+		t.Error("width 0 accepted")
+	}
+	if _, err := a.RunLightBatch(make([]float64, n*2-1), 2, nil); err == nil {
+		t.Error("short scale accepted")
+	}
+}
+
+// TestRunLightBatchAllocFree: a warmed batch re-time allocates nothing — the
+// same steady-state contract as RunLight, extended to the SoA block.
+func TestRunLightBatchAllocFree(t *testing.T) {
+	pl := randomPlacement(t, 402)
+	a, err := NewAnalyzer(pl, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(pl.Design.Gates)
+	const w = 8
+	scale := make([]float64, n*w)
+	for i := range scale {
+		scale[i] = 0.9 + 0.001*float64(i%200)
+	}
+	tb, err := a.RunLightBatch(scale, w, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tm *Timing
+	tm = tb.DieInto(0, tm)
+	allocs := testing.AllocsPerRun(50, func() {
+		if tb, err = a.RunLightBatch(scale, w, tb); err != nil {
+			t.Fatal(err)
+		}
+		tm = tb.DieInto(3, tm)
+	})
+	if allocs != 0 {
+		t.Errorf("warmed RunLightBatch+DieInto allocates %v per run, want 0", allocs)
+	}
+}

@@ -1,0 +1,75 @@
+package variation
+
+// DieBlock is a batch of sampled dies in one structure-of-arrays block:
+// die-major rows of DVthV and DelayScale (die d's vectors are
+// [d*N : (d+1)*N]) plus the per-die seeds. The row layout makes every
+// per-die view zero-copy — Die(d) returns a Die whose slices alias the
+// block — so the scalar tuning tail runs on block lanes without a gather,
+// and hands RunLightBatch its die-major scale matrix directly.
+//
+// Like a Die it is a reused buffer: SampleBlockInto regrows it in place, one
+// block must not be shared between concurrent samplers, and a population
+// loop keeps one per worker.
+type DieBlock struct {
+	// N is the per-die gate count of the current block.
+	N int
+	// Seeds are the block's die seeds in lane order.
+	Seeds []int64
+	// DVthV / DelayScale are the die-major rows.
+	DVthV      []float64
+	DelayScale []float64
+
+	// dies are the zero-copy per-die views over the rows.
+	dies []Die
+}
+
+// Len returns the number of dies in the block.
+func (b *DieBlock) Len() int { return len(b.Seeds) }
+
+// Die returns the zero-copy view of die d: its slices alias the block's
+// rows, so it is valid until the next SampleBlockInto on the same block.
+func (b *DieBlock) Die(d int) *Die { return &b.dies[d] }
+
+// grow sizes the block for w dies of n gates, reusing capacity.
+func (b *DieBlock) grow(n, w int) {
+	b.N = n
+	if cap(b.Seeds) < w {
+		b.Seeds = make([]int64, w)
+	}
+	b.Seeds = b.Seeds[:w]
+	if cap(b.DVthV) < n*w {
+		b.DVthV = make([]float64, n*w)
+	}
+	b.DVthV = b.DVthV[:n*w]
+	if cap(b.DelayScale) < n*w {
+		b.DelayScale = make([]float64, n*w)
+	}
+	b.DelayScale = b.DelayScale[:n*w]
+	if cap(b.dies) < w {
+		b.dies = make([]Die, w)
+	}
+	b.dies = b.dies[:w]
+}
+
+// SampleBlockInto draws one die per seed into blk's reused rows (nil
+// allocates a fresh block) and returns it. Every lane is bit-identical to
+// SampleInto of the same seed: each die's generator is re-seeded and drawn
+// in exactly the scalar order, with the systematic-surface waves swept over
+// the die's own hot row. The block form buys the population loop its SoA
+// layout — a die-major scale matrix for the batched re-timer and zero-copy
+// Die views for the scalar tail — not a different random stream.
+func (s *Sampler) SampleBlockInto(blk *DieBlock, seeds []int64) *DieBlock {
+	if blk == nil {
+		blk = &DieBlock{}
+	}
+	n := len(s.pl.Design.Gates)
+	blk.grow(n, len(seeds))
+	copy(blk.Seeds, seeds)
+	for d, seed := range seeds {
+		dv := blk.DVthV[d*n : (d+1)*n]
+		ds := blk.DelayScale[d*n : (d+1)*n]
+		s.sampleRow(dv, ds, seed)
+		blk.dies[d] = Die{Seed: seed, DVthV: dv, DelayScale: ds}
+	}
+	return blk
+}

@@ -222,6 +222,84 @@ func BenchmarkYieldPerDie(b *testing.B) {
 	}
 }
 
+// BenchmarkYieldPopulation is the serving-shape population aggregate: every
+// iteration runs one fresh YieldStream over a fixed population — what a
+// single /v1/yield request costs — against a persistent prefix-level
+// SolveCache shared across requests, exactly how fbbd holds one per warmed
+// design. ns/die here is the population-aggregate number the BENCH
+// trajectory tracks (BENCH_7.json vs the per-die fast path of BENCH_5.json).
+func BenchmarkYieldPopulation(b *testing.B) {
+	const dies = 64
+	for _, name := range benchCircuits {
+		b.Run(name, func(b *testing.B) {
+			y := newYieldBench(b, name)
+			opts := TuneOptions{
+				GuardbandPct: 0.005,
+				Workers:      1,
+				SolveCache:   core.NewSolveCache(y.al),
+			}
+			run := func() {
+				if _, err := YieldStream(context.Background(), y.an, y.al, y.nom,
+					y.proc, y.m, dies, 7, opts, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+			run() // warm the analyzer scratch and the solve cache
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				run()
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*dies), "ns/die")
+		})
+	}
+}
+
+// TestYieldBatchStagesAllocFree is the allocation budget of the batched
+// kernel: warmed-up block sampling, the die-major light re-time, and the
+// fused unbiased leakage sweep allocate nothing per batch.
+func TestYieldBatchStagesAllocFree(t *testing.T) {
+	pl := placed(t, "c5315")
+	proc := tech.Default45nm()
+	smp := NewSampler(pl, proc, Default())
+	an, err := sta.NewAnalyzer(pl, sta.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lm := NewLeakModel(pl, proc)
+	const w = 8
+	seeds := make([]int64, w)
+	lanes := []int{0, 2, 5, 7}
+	var blk *DieBlock
+	var tb *sta.TimingBatch
+	var leak []float64
+	i := 0
+	fill := func() {
+		for d := range seeds {
+			i++
+			seeds[d] = DieSeed(7, i)
+		}
+	}
+	fill()
+	blk = smp.SampleBlockInto(blk, seeds)
+	if tb, err = an.RunLightBatch(blk.DelayScale, w, tb); err != nil {
+		t.Fatal(err)
+	}
+	leak = lm.LeakageBlockNW(blk, lanes, leak)
+	if n := testing.AllocsPerRun(20, func() {
+		fill()
+		blk = smp.SampleBlockInto(blk, seeds)
+		var err error
+		if tb, err = an.RunLightBatch(blk.DelayScale, w, tb); err != nil {
+			panic(err)
+		}
+		leak = lm.LeakageBlockNW(blk, lanes, leak[:0])
+	}); n != 0 {
+		t.Errorf("warmed-up batch sample+retime+leak stages allocate %v/op, want 0", n)
+	}
+}
+
 // TestYieldPerDiePipelineAllocFree is the allocation budget of the
 // acceptance criteria: the warmed-up sample + light re-time + leakage
 // stages of the per-die loop allocate nothing. (The tune stage itself

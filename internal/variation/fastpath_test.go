@@ -267,7 +267,7 @@ func TestTunerSolveMemoBounded(t *testing.T) {
 	var want *core.Solution
 	for i := 0; i < 3*maxSolMemo; i++ {
 		beta := 0.02 + 1e-6*float64(i) // continuous, never repeats
-		sol, solveErr, err := tn.solve(core.Options{Beta: beta, MaxClusters: 3, MaxBiasPairs: 2}, nil, true)
+		sol, solveErr, err := tn.solve(core.Options{Beta: beta, MaxClusters: 3, MaxBiasPairs: 2}, nil, true, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -283,7 +283,7 @@ func TestTunerSolveMemoBounded(t *testing.T) {
 	}
 	// Escalation-style (non-memoized) targets must never insert.
 	grew := len(tn.sols)
-	if _, _, err := tn.solve(core.Options{Beta: 0.0423, MaxClusters: 3, MaxBiasPairs: 2}, nil, false); err != nil {
+	if _, _, err := tn.solve(core.Options{Beta: 0.0423, MaxClusters: 3, MaxBiasPairs: 2}, nil, false, nil); err != nil {
 		t.Fatal(err)
 	}
 	if len(tn.sols) != grew {
@@ -291,7 +291,7 @@ func TestTunerSolveMemoBounded(t *testing.T) {
 	}
 	// A key cached before the memo filled must still hit and agree with a
 	// fresh solve of the same instance.
-	sol, solveErr, err := tn.solve(core.Options{Beta: 0.02, MaxClusters: 3, MaxBiasPairs: 2}, nil, true)
+	sol, solveErr, err := tn.solve(core.Options{Beta: 0.02, MaxClusters: 3, MaxBiasPairs: 2}, nil, true, nil)
 	if err != nil || solveErr != nil {
 		t.Fatal(err, solveErr)
 	}

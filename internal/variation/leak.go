@@ -105,6 +105,31 @@ func (lm *LeakModel) LeakageNW(assign []int) float64 {
 	return total
 }
 
+// LeakageBlockNW computes the unbiased total leakage of the listed block
+// lanes in one pass each, appending to out in lane order. Per lane it is
+// bit-identical to SetDie(blk.Die(d)) followed by LeakageNW(nil) — the same
+// per-gate factorization evaluated in the same order — but fused: the
+// variation factor feeds the multiply-add directly instead of being staged
+// through the per-die scratch, so an unbiased lane costs one sweep instead
+// of two and lm.fsub (the SetDie die) is left untouched. The batch yield
+// kernel uses it for the no-bias lanes of a block, whose leakage is the only
+// thing still owed after the batched re-timing.
+func (lm *LeakModel) LeakageBlockNW(blk *DieBlock, lanes []int, out []float64) []float64 {
+	n := len(lm.baseNW)
+	w := lm.proc.SubthresholdFactor(0)
+	j := lm.proc.JunctionFactor(0)
+	for _, d := range lanes {
+		row := blk.DVthV[d*blk.N : d*blk.N+n]
+		total := 0.0
+		for g, dv := range row {
+			f := lm.proc.SubFactorDVth(dv)
+			total += lm.baseNW[g] * ((lm.subShr*(w*f) + lm.gls + j) * lm.temp)
+		}
+		out = append(out, total)
+	}
+	return out
+}
+
 // LeakageUniformNW returns the SetDie die's total leakage with one bias
 // voltage on every gate (the block-level form RBB recovery evaluates; vbs
 // may be negative), bit-identical to the scalar loop over

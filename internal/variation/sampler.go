@@ -77,13 +77,21 @@ func (s *Sampler) SampleInto(die *Die, seed int64) *Die {
 	n := len(s.pl.Design.Gates)
 	die.Seed = seed
 	die.grow(n)
+	s.sampleRow(die.DVthV, die.DelayScale, seed)
+	return die
+}
+
+// sampleRow draws one die's threshold shifts and delay scales into the given
+// rows — the shared body of SampleInto and SampleBlockInto, so the scalar
+// and block samplers cannot diverge. Both rows must have length NumGates.
+func (s *Sampler) sampleRow(dv, dscale []float64, seed int64) {
 	s.rng.Seed(seed)
 	d2d := s.rng.NormFloat64() * s.m.SigmaD2DmV / 1000
 
-	// Accumulate the systematic surface wave by wave directly into DVthV:
-	// the per-gate inner loop is a branch-free fused multiply-add sweep,
-	// and no scratch beyond the die's own buffers is needed.
-	dv := die.DVthV
+	// Accumulate the systematic surface wave by wave directly into the
+	// DVthV row: the per-gate inner loop is a branch-free fused
+	// multiply-add sweep, and no scratch beyond the caller's rows is
+	// needed.
 	clear(dv)
 	if s.m.SigmaSysmV > 0 && s.m.CorrLenUM > 0 {
 		const waves = 6
@@ -103,9 +111,8 @@ func (s *Sampler) SampleInto(die *Die, seed int64) *Die {
 	for g := range dv {
 		dvth := d2d + dv[g] + s.rng.NormFloat64()*s.m.SigmaRndmV/1000
 		dv[g] = dvth
-		die.DelayScale[g] = s.proc.DelayFactorDVth(dvth)
+		dscale[g] = s.proc.DelayFactorDVth(dvth)
 	}
-	return die
 }
 
 // AgedInto ages d into out's reused buffers (nil allocates a fresh Die; out

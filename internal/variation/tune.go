@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 
 	"repro/internal/core"
@@ -38,6 +39,26 @@ type TuneOptions struct {
 	// on distinct Instances — the core built-ins are — since YieldStudy
 	// hands the same value to every worker.
 	Solver core.Solver
+	// BatchWidth sets how many dies YieldStream's population kernels
+	// process per batch (0 = defaultBatchWidth). Any width — including 1 —
+	// yields byte-identical statistics and per-die results: the batch
+	// kernels preserve every die's float operation sequence exactly, so
+	// the width is purely a locality knob.
+	BatchWidth int
+	// TargetCI opts into adaptive termination: when positive, YieldStream
+	// stops after the die whose accumulation brings the 95% Wilson score
+	// interval on the recovered-yield fraction (MetAfter/Dies) to a
+	// half-width at or below TargetCI (a fraction; 0.01 = ±1 percentage
+	// point of yield). Dies accumulate in die order regardless, so a
+	// truncated study is byte-identical to a fixed-count study of the die
+	// count actually run (reported in YieldStats.Dies). Zero (the
+	// default) disables it: all nDies always run.
+	TargetCI float64
+	// SolveCache shares first-iteration allocation solves across workers,
+	// streams and requests (a flow.Prefix carries one per placement); nil
+	// keeps solves memoized per worker only. The cache must be built over
+	// the same Allocator the tuning runs on.
+	SolveCache *core.SolveCache
 }
 
 func (o *TuneOptions) setDefaults() {
@@ -129,13 +150,18 @@ type solEntry struct {
 // memoize marks a reusable (first-iteration, monitor-quantized) target:
 // escalated targets are continuous per-die floats that would never hit
 // again, so they are looked up but never inserted — one-off keys cannot
-// crowd the bounded memo out of its reusable entries. solveErr is the
-// graceful beyond-compensation-range outcome (cached — it is as
-// deterministic as a solution); err is a structural materialization failure
-// (fatal, never cached). The returned Solution is owned by the Tuner (the
-// memo, or the Instance scratch when not inserted): callers clone before
-// retaining, exactly as they must for Instance-owned solutions.
-func (tn *Tuner) solve(opts core.Options, solver core.Solver, memoize bool) (sol *core.Solution, solveErr, err error) {
+// crowd the bounded memo out of its reusable entries. When a shared
+// SolveCache is supplied, memoizable misses route through it — the first
+// worker of the whole process pays the materialize-and-solve, every later
+// worker, stream and request gets the entry — and the shared solution is
+// inserted into the local memo so subsequent hits in this worker skip the
+// cache lock entirely. solveErr is the graceful beyond-compensation-range
+// outcome (cached — it is as deterministic as a solution); err is a
+// structural materialization failure (fatal, never cached). The returned
+// Solution is owned by the Tuner or the shared cache (never the caller):
+// callers clone before retaining, exactly as they must for Instance-owned
+// solutions.
+func (tn *Tuner) solve(opts core.Options, solver core.Solver, memoize bool, shared *core.SolveCache) (sol *core.Solution, solveErr, err error) {
 	if tn.sols == nil || tn.solsSolver != solver {
 		tn.sols = make(map[solKey]*solEntry)
 		tn.solsSolver = solver
@@ -143,6 +169,19 @@ func (tn *Tuner) solve(opts core.Options, solver core.Solver, memoize bool) (sol
 	key := solKey{beta: opts.Beta, clusters: opts.MaxClusters, pairs: opts.MaxBiasPairs}
 	if e, ok := tn.sols[key]; ok {
 		return e.sol, e.err, nil
+	}
+	if memoize && shared != nil {
+		s, inst, serr, err := shared.Solve(opts, solver, tn.inst)
+		if err != nil {
+			return nil, nil, err
+		}
+		tn.inst = inst
+		if len(tn.sols) < maxSolMemo {
+			// The cached Solution is immutable and outlives the worker, so
+			// the local memo shares it instead of cloning.
+			tn.sols[key] = &solEntry{sol: s, err: serr}
+		}
+		return s, serr, nil
 	}
 	inst, err := tn.al.At(opts, tn.inst)
 	if err != nil {
@@ -219,6 +258,9 @@ func TuneOn(tn *Tuner, nom *sta.Timing, die *Die, proc *tech.Process, opts TuneO
 	if nom == nil || nom.Light {
 		return nil, errors.New("variation: nominal timing must be a full (path-extracting) analysis")
 	}
+	if opts.SolveCache != nil && opts.SolveCache.Allocator() != tn.al {
+		return nil, errors.New("variation: TuneOptions.SolveCache built over a different Allocator")
+	}
 	opts.setDefaults()
 	dieTm, err := tn.rt.TimeLight(die)
 	if err != nil {
@@ -251,6 +293,17 @@ func TuneOn(tn *Tuner, nom *sta.Timing, die *Die, proc *tech.Process, opts TuneO
 		res.LeakAfterNW = res.LeakBeforeNW
 		return res, nil
 	}
+	return tn.tuneTail(res, die, nom.DcritPS, dieDcrit, limit, target, memoizable, proc, opts)
+}
+
+// tuneTail is the allocate-verify-escalate loop of TuneOn on a die whose
+// head analysis (re-timing, leakage baseline, sensing) is already folded
+// into res — the shared slow path of the scalar TuneOn and the batched
+// YieldStream, which runs the head through the batch kernels and hands only
+// the dies that need bias here. opts must have defaults applied; the float
+// operations are exactly TuneOn's.
+func (tn *Tuner) tuneTail(res *TuneResult, die *Die, nomDcrit, dieDcrit, limit, target float64, memoizable bool, proc *tech.Process, opts TuneOptions) (*TuneResult, error) {
+	lm := tn.leakModel(proc)
 	if target <= 0 {
 		target = 0.005 // sensor saw nothing but the die misses timing
 	}
@@ -261,7 +314,7 @@ func TuneOn(tn *Tuner, nom *sta.Timing, die *Die, proc *tech.Process, opts TuneO
 			Beta:         target,
 			MaxClusters:  opts.MaxClusters,
 			MaxBiasPairs: opts.MaxBiasPairs,
-		}, opts.Solver, memoizable && iter == 0)
+		}, opts.Solver, memoizable && iter == 0, opts.SolveCache)
 		if err != nil {
 			return nil, err
 		}
@@ -282,7 +335,8 @@ func TuneOn(tn *Tuner, nom *sta.Timing, die *Die, proc *tech.Process, opts TuneO
 		if err != nil {
 			return nil, err
 		}
-		// sol lives in the Tuner's memo; detach the copy we report.
+		// sol lives in the Tuner's memo or the shared cache; detach the
+		// copy we report.
 		res.Solution = sol.Clone()
 		res.DcritAfterPS = tuned.DcritPS
 		res.LeakAfterNW = lm.LeakageNW(res.Solution.Assign)
@@ -293,7 +347,7 @@ func TuneOn(tn *Tuner, nom *sta.Timing, die *Die, proc *tech.Process, opts TuneO
 		// The uniform-beta model under-estimated this die's worst
 		// corner; escalate and retry (a real controller bumps the
 		// bias code the same way).
-		short := tuned.DcritPS/nom.DcritPS - 1
+		short := tuned.DcritPS/nomDcrit - 1
 		target += short + 0.005
 	}
 	res.Reason = fmt.Sprintf("not met after %d escalations", opts.MaxIters)
@@ -365,6 +419,30 @@ func YieldStudyOn(ctx context.Context, an *sta.Analyzer, al *core.Allocator, nom
 // TuneResult per die.
 const yieldChunk = 256
 
+// defaultBatchWidth is the die-batch width of YieldStream's population
+// kernels when TuneOptions.BatchWidth is unset. The batch amortizes per-gate
+// structure lookups across its lanes (sampler waves, STA topo walks), so
+// wider is better until the lane-contiguous working set outgrows the cache;
+// the width never changes results, only locality.
+const defaultBatchWidth = 16
+
+// wilsonZ is the two-sided 95% normal quantile used by the adaptive
+// termination interval.
+const wilsonZ = 1.959963984540054
+
+// wilsonHalfWidth returns the half-width of the 95% Wilson score interval
+// for successes out of n trials — the adaptive-termination criterion on the
+// recovered-yield fraction. The Wilson form stays honest at the extremes
+// (p̂ = 0 or 1 still yields a positive width shrinking as 1/n), where the
+// naive normal interval collapses to zero and would stop a study after its
+// first die.
+func wilsonHalfWidth(n, successes int) float64 {
+	fn := float64(n)
+	p := float64(successes) / fn
+	z2 := wilsonZ * wilsonZ
+	return wilsonZ / (1 + z2/fn) * math.Sqrt(p*(1-p)/fn+z2/(4*fn*fn))
+}
+
 // YieldStream is the streaming core of the yield study: it tunes nDies dies
 // in bounded windows (yieldChunk) over a worker pool and, when emit is
 // non-nil, invokes it once per die in strictly increasing die order with
@@ -373,17 +451,38 @@ const yieldChunk = 256
 // referenced again by YieldStream, so emit may retain it, but memory stays
 // bounded only if emit does not.
 //
+// Within a window, dies move through the population kernels in batches of
+// TuneOptions.BatchWidth: one SoA sample block per batch, one die-major
+// batched re-timing, and one fused leakage sweep over the lanes that need no
+// bias — only dies that miss timing (or whose sensor demands bias) fall back
+// to the scalar allocate-verify-escalate tail. Every lane preserves the
+// per-die float operation order of the scalar path, so the batch width (and
+// the worker count, and the chunk size) never changes a single byte of the
+// per-die results or the aggregate.
+//
 // The aggregated statistics are accumulated in die order and are therefore
-// byte-identical to YieldStudyOn's at any worker count or chunk size. An
-// emit error, a tuning error, or ctx cancellation aborts the stream and is
-// returned; the partially accumulated stats are discarded.
+// byte-identical to YieldStudyOn's at any worker count or chunk size. When
+// opts.TargetCI is set, the stream additionally stops after the die whose
+// accumulation satisfies the interval — identical to a fixed-count study of
+// exactly that many dies. An emit error, a tuning error, or ctx cancellation
+// aborts the stream and is returned; the partially accumulated stats are
+// discarded.
 func YieldStream(ctx context.Context, an *sta.Analyzer, al *core.Allocator, nom *sta.Timing, proc *tech.Process, m Model, nDies int, seed int64, opts TuneOptions, emit func(die int, r *TuneResult) error) (*YieldStats, error) {
 	if nDies <= 0 {
 		return nil, errors.New("variation: nDies must be positive")
 	}
+	if opts.SolveCache != nil && opts.SolveCache.Allocator() != al {
+		return nil, errors.New("variation: TuneOptions.SolveCache built over a different Allocator")
+	}
 	pl := an.Placement()
 	opts.setDefaults()
 	limit := nom.DcritPS * (1 + opts.SlackTolPct)
+	width := opts.BatchWidth
+	if width <= 0 {
+		width = defaultBatchWidth
+	}
+	mon, isMonitor := opts.Sensor.(InSituMonitor)
+	memoizable := isMonitor && mon.ResolutionPct > 0
 
 	// The assignment-independent structure is built once for the whole
 	// stream: the Sampler's gate-centre geometry and the LeakModel's
@@ -395,12 +494,18 @@ func YieldStream(ctx context.Context, an *sta.Analyzer, al *core.Allocator, nom 
 
 	// Worker states are pooled across chunks: between MapWith calls every
 	// worker is idle, so the whole pool is free again — each chunk checks
-	// out warmed Tuners, Samplers and die buffers instead of re-growing
-	// O(gates) scratch ~nDies/yieldChunk times over a long stream.
+	// out warmed Tuners, Samplers and batch blocks instead of re-growing
+	// O(gates·width) scratch ~nDies/yieldChunk times over a long stream.
 	type yieldWorker struct {
-		tn  *Tuner
-		smp *Sampler
-		die *Die
+		tn    *Tuner
+		smp   *Sampler
+		blk   *DieBlock
+		tb    *sta.TimingBatch
+		dieTm *sta.Timing // DieInto scratch for generic sensors
+		shim  sta.Timing  // Dcrit-only view for the in-situ monitor
+		seeds []int64
+		fast  []int     // no-bias lanes of the current batch
+		leakN []float64 // their unbiased leakages
 	}
 	var (
 		tmu     sync.Mutex
@@ -417,38 +522,118 @@ func YieldStream(ctx context.Context, an *sta.Analyzer, al *core.Allocator, nom 
 		}
 		tn := NewTuner(NewRetimer(an), al)
 		tn.leak = leakBase.Clone()
-		w := &yieldWorker{tn: tn, smp: smpBase.Clone(), die: &Die{}}
+		w := &yieldWorker{tn: tn, smp: smpBase.Clone(), blk: &DieBlock{}}
 		workers = append(workers, w)
 		return w
 	}
 
-	st := &YieldStats{Dies: nDies}
+	// runBatch carries one batch of dies [base, base+cnt) through the
+	// population kernels: sample block, batched re-timing, per-lane
+	// sense-and-branch, scalar tail for biased lanes, one fused leakage
+	// sweep for the rest. Per lane the results are bit-identical to
+	// TuneOn of the same die.
+	runBatch := func(w *yieldWorker, base, cnt int) ([]*TuneResult, error) {
+		w.seeds = w.seeds[:0]
+		for i := 0; i < cnt; i++ {
+			w.seeds = append(w.seeds, DieSeed(seed, base+i))
+		}
+		w.blk = w.smp.SampleBlockInto(w.blk, w.seeds)
+		tb, err := an.RunLightBatch(w.blk.DelayScale, cnt, w.tb)
+		if err != nil {
+			return nil, err
+		}
+		w.tb = tb
+		lm := w.tn.leakModel(proc)
+		out := make([]*TuneResult, cnt)
+		w.fast = w.fast[:0]
+		for d := 0; d < cnt; d++ {
+			die := w.blk.Die(d)
+			dieDcrit := tb.DcritPS[d]
+			res := &TuneResult{
+				BetaActual:    dieDcrit/nom.DcritPS - 1,
+				DcritBeforePS: dieDcrit,
+			}
+			out[d] = res
+			// The in-situ monitor reads only the die's critical delay, so
+			// it senses straight off the batch; generic sensors get the
+			// lane gathered into a scalar light Timing.
+			if isMonitor {
+				w.shim.DcritPS = dieDcrit
+				res.BetaSensed = opts.Sensor.MeasureBeta(nom, &w.shim, die.Seed)
+			} else {
+				w.dieTm = tb.DieInto(d, w.dieTm)
+				res.BetaSensed = opts.Sensor.MeasureBeta(nom, w.dieTm, die.Seed)
+			}
+			target := res.BetaSensed + opts.GuardbandPct
+			if dieDcrit <= limit && target <= 0 {
+				// Fast or nominal die: complete it in-batch and defer
+				// its (unbiased) leakage to the fused block sweep.
+				res.Met = true
+				res.DcritAfterPS = dieDcrit
+				w.fast = append(w.fast, d)
+				continue
+			}
+			lm.SetDie(die)
+			res.LeakBeforeNW = lm.LeakageNW(nil)
+			if _, err := w.tn.tuneTail(res, die, nom.DcritPS, dieDcrit, limit, target, memoizable, proc, opts); err != nil {
+				return nil, err
+			}
+		}
+		w.leakN = lm.LeakageBlockNW(w.blk, w.fast, w.leakN[:0])
+		for k, d := range w.fast {
+			out[d].LeakBeforeNW = w.leakN[k]
+			out[d].LeakAfterNW = w.leakN[k]
+		}
+		return out, nil
+	}
+
+	// WorstBetaPct starts at -Inf, not zero: an all-fast population's worst
+	// slowdown is negative, and a zero floor would silently report it as
+	// exactly nominal. nDies >= 1 guarantees the first die overwrites it.
+	st := &YieldStats{WorstBetaPct: math.Inf(-1)}
 	sumIters, sumClusters := 0, 0
-	for lo := 0; lo < nDies; lo += yieldChunk {
+	processed := 0
+	done := false
+	for lo := 0; lo < nDies && !done; lo += yieldChunk {
 		hi := min(lo+yieldChunk, nDies)
+		nBatches := (hi - lo + width - 1) / width
 		avail = append(avail[:0], workers...)
-		results, err := flow.MapWith(ctx, opts.Workers, hi-lo,
+		results, err := flow.MapWith(ctx, opts.Workers, nBatches,
 			checkout,
-			func(_ context.Context, w *yieldWorker, i int) (*TuneResult, error) {
-				die := w.smp.SampleInto(w.die, DieSeed(seed, lo+i))
-				return TuneOn(w.tn, nom, die, proc, opts)
+			func(_ context.Context, w *yieldWorker, b int) ([]*TuneResult, error) {
+				base := lo + b*width
+				return runBatch(w, base, min(width, hi-base))
 			})
 		if err != nil {
 			return nil, err
 		}
-		for i, r := range results {
-			st.accumulate(r, limit, &sumIters, &sumClusters)
-			if emit != nil {
-				if err := emit(lo+i, r); err != nil {
-					return nil, err
+		for _, batch := range results {
+			for _, r := range batch {
+				st.accumulate(r, limit, &sumIters, &sumClusters)
+				idx := processed
+				processed++
+				if emit != nil {
+					if err := emit(idx, r); err != nil {
+						return nil, err
+					}
 				}
+				if opts.TargetCI > 0 && wilsonHalfWidth(processed, st.MetAfter) <= opts.TargetCI {
+					// Converged: drop the rest of the window. Everything
+					// accumulated so far is exactly a processed-die study.
+					done = true
+					break
+				}
+			}
+			if done {
+				break
 			}
 		}
 	}
 
-	st.MeanBetaPct /= float64(nDies)
-	st.MeanLeakBeforeNW /= float64(nDies)
-	st.MeanLeakAfterNW /= float64(nDies)
+	st.Dies = processed
+	st.MeanBetaPct /= float64(processed)
+	st.MeanLeakBeforeNW /= float64(processed)
+	st.MeanLeakAfterNW /= float64(processed)
 	if st.TunedDies > 0 {
 		st.MeanLeakTunedOnlyNW /= float64(st.TunedDies)
 		st.MeanTuneIters = float64(sumIters) / float64(st.TunedDies)
