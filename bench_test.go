@@ -66,8 +66,7 @@ func table1Bench(b *testing.B, name string) {
 	b.StopTimer()
 	printOnce("table1:"+name, func() {
 		rows, err := Table1(Table1Options{
-			Benchmarks:   []string{name},
-			ILPTimeLimit: 10 * time.Second,
+			Benchmarks: []string{name},
 		})
 		if err != nil {
 			fmt.Println("table1:", err)
@@ -160,7 +159,6 @@ func BenchmarkRuntimeILP(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := res.Problem.SolveILP(core.ILPOptions{
-			TimeLimit: 30 * time.Second,
 			WarmStart: res.Heuristic,
 		}); err != nil {
 			b.Fatal(err)
@@ -183,6 +181,45 @@ func BenchmarkRuntimeILP(b *testing.B) {
 		}
 		fmt.Print(t.String())
 	})
+}
+
+// BenchmarkSolveILP times a complete proven-optimal exact solve on the
+// Table 1 circuits the paper's lp_solve handled: presolve, pseudo-cost
+// branching and the deterministic parallel tree, from a heuristic warm
+// start. The sub-benchmarks ablate one engine stage each (most-fractional
+// branching, no presolve, a single worker), so the bench log shows what
+// every stage buys on real instances.
+func BenchmarkSolveILP(b *testing.B) {
+	for _, name := range []string{"c1355", "c3540", "c5315"} {
+		res, err := Run(Config{Benchmark: name, Beta: 0.05, SkipLayout: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, cfg := range []struct {
+			label string
+			opts  core.ILPOptions
+		}{
+			{"full", core.ILPOptions{}},
+			{"mostfrac", core.ILPOptions{Branching: "mostfrac"}},
+			{"nopresolve", core.ILPOptions{NoPresolve: true}},
+			{"serial", core.ILPOptions{Workers: 1}},
+		} {
+			b.Run(name+"/"+cfg.label, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					opts := cfg.opts
+					opts.WarmStart = res.Heuristic
+					sol, ir, err := res.Problem.SolveILP(opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if sol == nil || !sol.Proven {
+						b.Fatalf("not proven: %v", ir.Status)
+					}
+					b.ReportMetric(float64(ir.Nodes), "nodes")
+				}
+			})
+		}
+	}
 }
 
 // BenchmarkFigure3LayoutOverheads regenerates the layout-style analysis of

@@ -14,7 +14,8 @@
 // Usage:
 //
 //	fbbflow -bench c5315 -beta 0.05 -c 3 [-solver heuristic] [-ilp]
-//	        [-ilp-timeout 30s] [-parallel 0] [-ascii]
+//	        [-ilp-nodes 0] [-ilp-workers 0] [-ilp-timeout 0] [-parallel 0]
+//	        [-ascii]
 package main
 
 import (
@@ -51,7 +52,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		c          = fs.Int("c", 3, "maximum clusters (incl. no-body-bias)")
 		solver     = fs.String("solver", "heuristic", "allocation engine ("+strings.Join(core.SolverNames(), ", ")+")")
 		runILP     = fs.Bool("ilp", false, "also run the exact ILP allocator")
-		ilpTimeout = fs.Duration("ilp-timeout", 30*time.Second, "ILP time budget")
+		ilpNodes   = fs.Int("ilp-nodes", 0, "ILP node budget (0 = solver default; deterministic)")
+		ilpWorkers = fs.Int("ilp-workers", 0, "ILP tree-parallelism (0 = one per CPU; never changes the result)")
+		ilpTimeout = fs.Duration("ilp-timeout", 0, "additional ILP wall-clock budget (0 = none; nondeterministic truncation)")
 		parallel   = fs.Int("parallel", 0, "concurrent benchmark flows (0 = one per CPU, 1 = sequential)")
 		ascii      = fs.Bool("ascii", false, "print the clustered layout (Figure 3 style)")
 		timing     = fs.Bool("timing", false, "print a timing report (slack histogram, worst paths)")
@@ -82,6 +85,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 				MaxClusters:  *c,
 				Solver:       *solver,
 				RunILP:       *runILP,
+				ILPNodeLimit: *ilpNodes,
+				ILPWorkers:   *ilpWorkers,
 				ILPTimeLimit: *ilpTimeout,
 			})
 		})
@@ -151,6 +156,19 @@ func printResult(w io.Writer, res *repro.Result, beta float64, runILP, ascii, ti
 		t.Add("ILP", "-", "-", "-", "-", "-", res.ILPTime.Round(time.Millisecond).String())
 	}
 	fmt.Fprint(w, t.String())
+
+	if ir := res.ILPResult; ir != nil {
+		fmt.Fprintf(w, "ilp: %s after %d nodes (%s branching, %d strong LPs); presolve fixed %d vars, dropped %d rows, tightened %d bounds",
+			ir.Status, ir.Nodes, ir.Branching, ir.StrongLPs,
+			ir.PresolveFixedVars, ir.PresolveDroppedRows, ir.PresolveTightened)
+		if g := ir.Gap(); g > 0 {
+			fmt.Fprintf(w, "; gap %.2f%%", g*100)
+		}
+		if res.RaceWinner != "" {
+			fmt.Fprintf(w, "; race winner: %s", res.RaceWinner)
+		}
+		fmt.Fprintln(w)
+	}
 
 	if res.Layout != nil {
 		fmt.Fprintf(w, "layout: %d bias pair(s), max row-util increase %.1f%%, "+

@@ -182,7 +182,7 @@ func issue(ctx context.Context, client *serve.Client, ep, bench string, seed int
 		return err
 	case "die":
 		_, err := client.Tune(ctx, serve.TuneRequest{
-			DesignRef: serve.DesignRef{Benchmark: bench},
+			DesignRef:   serve.DesignRef{Benchmark: bench},
 			MaxClusters: c, Solver: solver,
 			Die: &serve.DieRequest{Seed: seed},
 		})

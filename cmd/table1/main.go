@@ -9,19 +9,19 @@
 //
 // Cells run on the flow engine: each benchmark's gen->place->STA prefix is
 // computed once and shared across all (beta, C) points, and -parallel bounds
-// how many cells run concurrently (0 = one per CPU, 1 = sequential). The
-// heuristic columns are identical at any parallelism; the ILP columns run
-// under a wall-clock budget, so concurrent cells contending for cores may
-// report different incumbents than -parallel 1 (use -parallel 1, or
-// -ilp-gates 1 to skip the ILP everywhere, for byte-reproducible output).
-// A failing
-// cell is reported on stderr and the completed rows still print; the exit
-// status is non-zero if any cell failed.
+// how many cells run concurrently (0 = one per CPU, 1 = sequential). Every
+// column is byte-identical at any -parallel: the ILP runs under a node
+// budget (-ilp-nodes), which is deterministic regardless of core
+// contention. Setting -ilp-timeout opts back into wall-clock truncation,
+// whose cells may vary run to run. A failing cell is reported on stderr and
+// the completed rows still print; the exit status is non-zero if any cell
+// failed.
 //
 // Usage:
 //
 //	table1 [-benchmarks c1355,c3540] [-betas 0.05,0.10] [-solver heuristic]
-//	       [-ilp-timeout 20s] [-ilp-gates 5000] [-parallel 0] [-csv]
+//	       [-ilp-nodes 50000] [-ilp-timeout 0] [-ilp-gates 5000]
+//	       [-parallel 0] [-csv]
 package main
 
 import (
@@ -32,7 +32,6 @@ import (
 	"os"
 	"strconv"
 	"strings"
-	"time"
 
 	"repro"
 	"repro/internal/core"
@@ -52,7 +51,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	var (
 		benchList  = fs.String("benchmarks", "", "comma-separated benchmark names (default: all)")
 		betaList   = fs.String("betas", "0.05,0.10", "comma-separated slowdown coefficients")
-		ilpTimeout = fs.Duration("ilp-timeout", 20*time.Second, "ILP time budget per instance")
+		ilpNodes   = fs.Int("ilp-nodes", 0, "ILP node budget per instance (0 = default 50000; deterministic)")
+		ilpTimeout = fs.Duration("ilp-timeout", 0, "additional ILP wall-clock budget (0 = none; nondeterministic truncation)")
 		ilpGates   = fs.Int("ilp-gates", 5000, "skip the ILP above this gate count")
 		solver     = fs.String("solver", "heuristic", "allocation engine for the non-ILP columns ("+strings.Join(core.SolverNames(), ", ")+")")
 		parallel   = fs.Int("parallel", 0, "concurrent table cells (0 = one per CPU, 1 = sequential)")
@@ -66,6 +66,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	opts := repro.Table1Options{
+		ILPNodeLimit: *ilpNodes,
 		ILPTimeLimit: *ilpTimeout,
 		ILPGateLimit: *ilpGates,
 		Solver:       *solver,
@@ -128,7 +129,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprint(stdout, t.CSV())
 	} else {
 		fmt.Fprint(stdout, t.String())
-		fmt.Fprintln(stdout, "\n* incumbent at the time budget (optimality not proven); - not run (paper: did not converge)")
+		fmt.Fprintln(stdout, "\n* incumbent at the search budget (optimality not proven); - not run (paper: did not converge)")
 	}
 	if failed > 0 {
 		// Partial rows printed above, but the run is not clean.

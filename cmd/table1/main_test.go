@@ -42,6 +42,41 @@ func TestTable1Golden(t *testing.T) {
 	}
 }
 
+// TestTable1ILPGoldenParallelInvariant pins the determinism contract of the
+// rebuilt exact engine: with the ILP columns on (node-budgeted, no wall
+// clock), the table must be byte-identical at any -parallel, and those bytes
+// are committed under testdata/ so an engine refactor cannot silently drift
+// either the optima or the determinism. Regenerate with -update.
+func TestTable1ILPGoldenParallelInvariant(t *testing.T) {
+	outs := map[string][]byte{}
+	for _, par := range []string{"1", "4"} {
+		var out, errb bytes.Buffer
+		err := run([]string{"-benchmarks", "c1355", "-betas", "0.05", "-solver", "ilp", "-parallel", par}, &out, &errb)
+		if err != nil {
+			t.Fatalf("-parallel %s: %v (stderr: %s)", par, err, errb.String())
+		}
+		outs[par] = out.Bytes()
+	}
+	if !bytes.Equal(outs["1"], outs["4"]) {
+		t.Fatalf("table changed with -parallel:\n--- parallel 1 ---\n%s\n--- parallel 4 ---\n%s",
+			outs["1"], outs["4"])
+	}
+	golden := filepath.Join("testdata", "table1_c1355_ilp.golden")
+	if *update {
+		if err := os.WriteFile(golden, outs["1"], 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if !bytes.Equal(outs["1"], want) {
+		t.Errorf("output drifted from %s:\n--- got ---\n%s\n--- want ---\n%s",
+			golden, outs["1"], want)
+	}
+}
+
 func TestTable1CSV(t *testing.T) {
 	var out, errb bytes.Buffer
 	if err := run([]string{"-benchmarks", "c1355", "-betas", "0.05", "-ilp-gates", "1", "-csv"}, &out, &errb); err != nil {

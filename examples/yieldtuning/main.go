@@ -6,7 +6,7 @@
 // acceptable specs"). Run with:
 //
 //	go run ./examples/yieldtuning [-bench c1355] [-dies 200] [-seed 1]
-//	                              [-solver heuristic]
+//	                              [-solver heuristic] [-parallel 0]
 package main
 
 import (
@@ -18,7 +18,6 @@ import (
 	"log"
 	"os"
 	"strings"
-	"time"
 
 	"repro"
 	"repro/internal/core"
@@ -38,10 +37,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("yieldtuning", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		bench  = fs.String("bench", "c1355", "benchmark name")
-		dies   = fs.Int("dies", 200, "Monte-Carlo population size")
-		seed   = fs.Int64("seed", 1, "sampling seed")
-		solver = fs.String("solver", "heuristic", "allocation engine ("+strings.Join(core.SolverNames(), ", ")+")")
+		bench    = fs.String("bench", "c1355", "benchmark name")
+		dies     = fs.Int("dies", 200, "Monte-Carlo population size")
+		seed     = fs.Int64("seed", 1, "sampling seed")
+		solver   = fs.String("solver", "heuristic", "allocation engine ("+strings.Join(core.SolverNames(), ", ")+")")
+		parallel = fs.Int("parallel", 0, "concurrent die tunings (0 = one per CPU, 1 = sequential)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -74,13 +74,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
-	if ilps, ok := s.(*core.ILPSolver); ok {
-		// An unbounded exact solve per escalation per die would run for
-		// hours; give it the budget the experiment drivers use.
-		ilps.Opts.TimeLimit = 10 * time.Second
+	// An unbounded exact solve per escalation per die would run for ages;
+	// a node budget keeps it bounded — and, unlike the historical
+	// wall-clock cap, deterministic at any -parallel.
+	switch sv := s.(type) {
+	case *core.ILPSolver:
+		sv.Opts.NodeLimit = 50000
+	case *core.RaceSolver:
+		sv.ILP.NodeLimit = 50000
 	}
 	st, err := variation.YieldStudy(context.Background(), pl, proc, model, *dies, *seed,
-		variation.TuneOptions{GuardbandPct: 0.005, Solver: s})
+		variation.TuneOptions{GuardbandPct: 0.005, Solver: s, Workers: *parallel})
 	if err != nil {
 		return err
 	}

@@ -75,8 +75,17 @@ type Table1Options struct {
 	Benchmarks []string
 	// Betas to evaluate (default 5% and 10%).
 	Betas []float64
-	// ILPTimeLimit bounds each exact solve; the paper likewise capped
-	// lp_solve's runtime.
+	// ILPNodeLimit bounds each exact solve's branch-and-bound nodes
+	// (default 50000). Node budgets make the ILP columns bit-reproducible
+	// at any Runner parallelism and any ILPWorkers.
+	ILPNodeLimit int
+	// ILPWorkers sets each exact solve's tree parallelism (0 =
+	// GOMAXPROCS); wall clock only, never the result.
+	ILPWorkers int
+	// ILPTimeLimit additionally interrupts each exact solve on wall clock
+	// (0 = none); the paper likewise capped lp_solve's runtime. Where the
+	// clock cuts the tree is machine-dependent, so setting it reintroduces
+	// run-to-run variation in truncated cells.
 	ILPTimeLimit time.Duration
 	// ILPGateLimit skips the ILP on larger designs, reproducing the
 	// paper's missing entries for Industrial2/3 (default 5000 gates).
@@ -125,11 +134,11 @@ type Table1Row struct {
 // failed carry the error in Err instead of aborting the whole table. The
 // returned error is non-nil only when the run itself was cancelled.
 //
-// The heuristic columns are deterministic at any parallelism. The ILP runs
-// under a wall-clock budget, so when cells contend for cores its incumbent
-// (ILPSav/Proven/Nodes) can vary run-to-run and differ from a sequential
-// run; for byte-reproducible ILP columns use a sequential Runner or raise
-// ILPTimeLimit until every solve proves optimality.
+// Every column is deterministic at any Runner parallelism: the ILP runs
+// under a node budget (ILPNodeLimit), so its incumbent, Proven bits and
+// node counts are bit-identical run to run regardless of core contention.
+// Setting ILPTimeLimit opts back into wall-clock truncation, whose cells
+// may vary between runs.
 func (r *Runner) Table1(opts Table1Options) ([]Table1Row, error) {
 	opts = opts.withDefaults()
 
@@ -165,8 +174,8 @@ func Table1(opts Table1Options) ([]Table1Row, error) {
 // fbbd /v1/table1 path) sees exactly the per-cell defaults a full Table1
 // run would.
 func (o Table1Options) withCellDefaults() Table1Options {
-	if o.ILPTimeLimit <= 0 {
-		o.ILPTimeLimit = 20 * time.Second
+	if o.ILPNodeLimit <= 0 {
+		o.ILPNodeLimit = 50000
 	}
 	if o.ILPGateLimit <= 0 {
 		o.ILPGateLimit = 5000
@@ -227,6 +236,8 @@ func Table1CellOn(pfx *flow.Prefix, name string, beta float64, opts Table1Option
 		}
 		if res.Design.Gates <= opts.ILPGateLimit {
 			sol, ires, err := res.Problem.SolveILP(core.ILPOptions{
+				NodeLimit: opts.ILPNodeLimit,
+				Workers:   opts.ILPWorkers,
 				TimeLimit: opts.ILPTimeLimit,
 				WarmStart: res.Heuristic,
 			})
@@ -268,11 +279,12 @@ type SweepPoint struct {
 // match C, as in the paper's what-if study (its conclusion — the marginal
 // gain beyond C=3 is small — is what justifies the 2-pair layout). When
 // ilpLimit is positive the sweep uses the exact allocator (warm-started by
-// the heuristic), matching the paper's optimizer-quality sweep; otherwise it
-// reports the heuristic, whose greedy split is noticeably weaker at C=2.
-// As with Table1, a wall-clock-limited ILP under parallel contention may
-// return different incumbents than a sequential run; the heuristic-only
-// sweep (ilpLimit 0) is deterministic at any parallelism.
+// the heuristic) under that wall-clock budget, matching the paper's
+// optimizer-quality sweep; otherwise it reports the heuristic, whose greedy
+// split is noticeably weaker at C=2. The heuristic-only sweep is
+// deterministic at any parallelism; the wall-clock-limited ILP may return
+// different incumbents under core contention (Table1's node-budgeted path
+// is the deterministic alternative).
 func (r *Runner) ClusterSweep(name string, beta float64, cFrom, cTo int, ilpLimit time.Duration) ([]SweepPoint, error) {
 	if cFrom < 1 || cTo < cFrom {
 		return nil, fmt.Errorf("repro: bad sweep range [%d, %d]", cFrom, cTo)

@@ -90,9 +90,8 @@ func TestTable1SurfacesILPStatus(t *testing.T) {
 		t.Skip("ILP cell in -short mode")
 	}
 	rows, err := Table1(Table1Options{
-		Benchmarks:   []string{"c1355"},
-		Betas:        []float64{0.05},
-		ILPTimeLimit: 30 * time.Second,
+		Benchmarks: []string{"c1355"},
+		Betas:      []float64{0.05},
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -375,8 +375,12 @@ type Instance struct {
 	Prob *Problem
 
 	// ILPResult reports the branch-and-bound outcome of the most recent
-	// ILPSolver solve on this instance (nil before one runs).
+	// exact solve on this instance (nil before one runs).
 	ILPResult *ilp.Result
+
+	// RaceWinner names the portfolio member whose solution the most
+	// recent RaceSolver solve returned ("" before one runs).
+	RaceWinner string
 
 	prob Problem
 
@@ -430,6 +434,7 @@ func (a *Allocator) At(opts Options, buf *Instance) (*Instance, error) {
 		inst = &Instance{}
 	}
 	inst.ILPResult = nil
+	inst.RaceWinner = ""
 
 	p := &inst.prob
 	p.Pl, p.Tm, p.Grid = a.pl, a.tm, a.grid

@@ -5,7 +5,6 @@ import (
 	"math/rand"
 	"strings"
 	"testing"
-	"time"
 
 	"repro/internal/cell"
 	"repro/internal/netlist"
@@ -250,11 +249,11 @@ func TestAllocatorMatchesBuildProblemILP(t *testing.T) {
 		if err != nil {
 			continue // beyond compensation range; ILP infeasible too
 		}
-		wantILP, wantRes, err := want.SolveILP(ILPOptions{TimeLimit: 30 * time.Second, WarmStart: wantH})
+		wantILP, wantRes, err := want.SolveILP(ILPOptions{WarmStart: wantH})
 		if err != nil {
 			t.Fatal(err)
 		}
-		gotILP, err := inst.Solve(&ILPSolver{Opts: ILPOptions{TimeLimit: 30 * time.Second}})
+		gotILP, err := inst.Solve(&ILPSolver{})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -3,7 +3,6 @@ package core
 import (
 	"math/rand"
 	"testing"
-	"time"
 
 	"repro/internal/cell"
 	"repro/internal/gen"
@@ -222,7 +221,7 @@ func TestILPOnSmallDesign(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		sol, res, err := p.SolveILP(ILPOptions{TimeLimit: 60 * time.Second, WarmStart: h})
+		sol, res, err := p.SolveILP(ILPOptions{WarmStart: h})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -256,11 +255,11 @@ func TestILPMoreClustersNeverWorse(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s2, _, err := p2.SolveILP(ILPOptions{TimeLimit: 10 * time.Second, WarmStart: h2})
+	s2, _, err := p2.SolveILP(ILPOptions{WarmStart: h2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	s3, _, err := p3.SolveILP(ILPOptions{TimeLimit: 10 * time.Second, WarmStart: h3})
+	s3, _, err := p3.SolveILP(ILPOptions{WarmStart: h3})
 	if err != nil {
 		t.Fatal(err)
 	}

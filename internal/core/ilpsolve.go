@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -8,15 +9,29 @@ import (
 	"repro/internal/lp"
 )
 
-// ILPOptions configure the exact solve.
+// ILPOptions configure the exact solve. The default budget is a node
+// limit, which makes results reproducible at any worker count; TimeLimit
+// is the explicit wall-clock opt-out.
 type ILPOptions struct {
-	// TimeLimit bounds the branch-and-bound wall clock (0 = none). The
-	// paper reports no ILP results for its two largest designs because
-	// lp_solve "did not converge in a specified amount of time"; the
-	// same budget semantics apply here.
-	TimeLimit time.Duration
-	// NodeLimit bounds explored nodes (0 = solver default).
+	// NodeLimit bounds explored branch-and-bound nodes (0 = solver
+	// default, 1<<20). Node budgets are deterministic: the same model and
+	// limit yield a bit-identical result regardless of Workers.
 	NodeLimit int
+	// TimeLimit additionally interrupts the search on wall clock
+	// (0 = none). The paper reports no ILP results for its two largest
+	// designs because lp_solve "did not converge in a specified amount of
+	// time"; the same budget semantics apply here — but unlike NodeLimit,
+	// where the clock cuts the tree is machine-dependent, so truncated
+	// results may vary run to run.
+	TimeLimit time.Duration
+	// Workers sets the tree-parallelism degree (0 = GOMAXPROCS). Any
+	// value returns the same result under a node budget.
+	Workers int
+	// Branching selects the branching rule: "" or "pseudocost" (strong-
+	// branching-seeded pseudo-costs), or "mostfrac".
+	Branching string
+	// NoPresolve disables the presolve pass (ablation switch).
+	NoPresolve bool
 	// WarmStart primes the incumbent, typically with the heuristic
 	// solution.
 	WarmStart *Solution
@@ -201,8 +216,15 @@ func (e *NoIncumbentError) Error() string {
 func (p *Problem) SolveILP(opts ILPOptions) (*Solution, *ilp.Result, error) {
 	m, inv := p.BuildILP()
 	var iopts ilp.Options
-	iopts.TimeLimit = opts.TimeLimit
 	iopts.NodeLimit = opts.NodeLimit
+	iopts.Workers = opts.Workers
+	iopts.Branching = opts.Branching
+	iopts.NoPresolve = opts.NoPresolve
+	if opts.TimeLimit > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), opts.TimeLimit)
+		defer cancel()
+		iopts.Interrupt = func() bool { return ctx.Err() != nil }
+	}
 	warmOK := false
 	if opts.WarmStart != nil {
 		if x, obj, ok := p.warmVector(m, inv, opts.WarmStart); ok {

@@ -1,0 +1,79 @@
+package core
+
+import "sync"
+
+// RaceSolver runs a portfolio race: the two-pass heuristic first (its
+// solution warm-starts everything downstream), then the local-search
+// portfolio and the warm-started exact ILP concurrently. The ILP is the
+// only member that can prove optimality, so a proven solve wins outright;
+// otherwise the cheaper incumbent wins, ties to the ILP (whose incumbent
+// is never worse than the warm start).
+//
+// Both members run to completion under their own budgets and the verdict
+// depends only on their results — never on which finished first — so a
+// race is exactly as deterministic as its members: bit-reproducible under
+// the default node budgets, machine-dependent only if ILP.TimeLimit is
+// set. The members do not exchange incumbents mid-flight for the same
+// reason; the concurrency buys wall clock, not coupling.
+type RaceSolver struct {
+	// ILP bounds the exact member; WarmStart is overridden with the
+	// heuristic solution of the same instance.
+	ILP ILPOptions
+	// Local configures the local-search member (zero value = defaults).
+	Local LocalSolver
+}
+
+// Name implements Solver.
+func (*RaceSolver) Name() string { return "race" }
+
+// Solve implements Solver. The winning member is published on
+// Instance.RaceWinner ("ilp" or "local") and the exact member's
+// branch-and-bound outcome on Instance.ILPResult, mirroring ILPSolver.
+func (s *RaceSolver) Solve(inst *Instance) (*Solution, error) {
+	warm, err := (HeuristicSolver{}).Solve(inst)
+	if err != nil {
+		// PassOne failed: no uniform bias meets timing, so every member
+		// is infeasible — surface the cheapest diagnosis.
+		return nil, err
+	}
+
+	var (
+		wg     sync.WaitGroup
+		ilpSol *Solution
+		locSol *Solution
+		ilpErr error
+		locErr error
+	)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		opts := s.ILP
+		opts.WarmStart = warm
+		ilpSol, inst.ILPResult, ilpErr = inst.prob.SolveILP(opts)
+	}()
+	go func() {
+		defer wg.Done()
+		loc := s.Local
+		locSol, locErr = loc.solveProblem(inst.Prob)
+	}()
+	wg.Wait()
+
+	switch {
+	case ilpErr != nil && locErr != nil:
+		return nil, ilpErr
+	case ilpErr != nil:
+		inst.RaceWinner = "local"
+		return locSol, nil
+	case locErr != nil:
+		inst.RaceWinner = "ilp"
+		return ilpSol, nil
+	case ilpSol.Proven:
+		inst.RaceWinner = "ilp"
+		return ilpSol, nil
+	case locSol.ExtraLeakNW < ilpSol.ExtraLeakNW:
+		inst.RaceWinner = "local"
+		return locSol, nil
+	}
+	inst.RaceWinner = "ilp"
+	return ilpSol, nil
+}

@@ -71,6 +71,7 @@ func init() {
 	RegisterSolver("heuristic", func() Solver { return HeuristicSolver{} })
 	RegisterSolver("ilp", func() Solver { return &ILPSolver{} })
 	RegisterSolver("local", func() Solver { return &LocalSolver{} })
+	RegisterSolver("race", func() Solver { return &RaceSolver{} })
 }
 
 // HeuristicSolver is the paper's two-pass greedy allocator (Figure 5) as a

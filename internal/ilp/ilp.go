@@ -1,15 +1,21 @@
 // Package ilp solves (mixed) integer linear programs by branch and bound
 // over the lp simplex. It provides what the paper used lp_solve for: the
-// exact FBB allocation. Like the paper's runs — where the ILP "did not
-// converge in a specified amount of time" on the two largest designs — the
-// solver takes node and wall-clock budgets and reports the best incumbent
-// with its proven bound when a budget expires.
+// exact FBB allocation. The engine runs a presolve pass (bound tightening,
+// variable fixing, redundant-row elimination), a pluggable branching rule
+// (pseudo-cost with reliability initialization, or most-fractional), and a
+// deterministically parallel tree search: worker goroutines speculatively
+// solve node relaxations ahead of a sequential commit order, so the result
+// — incumbent, objective, status, node count — is byte-identical at any
+// worker count. Like the paper's runs, where the ILP "did not converge in
+// a specified amount of time" on the two largest designs, the solver takes
+// a node budget (deterministic) or a caller-wired interrupt (wall-clock
+// opt-out) and reports the best incumbent with its proven bound when the
+// budget expires.
 package ilp
 
 import (
 	"errors"
 	"math"
-	"time"
 
 	"repro/internal/lp"
 )
@@ -58,10 +64,25 @@ func (s Status) String() string {
 
 // Options tune the search.
 type Options struct {
-	// TimeLimit bounds wall-clock time (0 = none).
-	TimeLimit time.Duration
-	// NodeLimit bounds explored nodes (0 = 1<<20).
+	// NodeLimit bounds committed branch-and-bound nodes (0 = 1<<20).
+	// Node budgets are the deterministic truncation mechanism: the same
+	// limit commits the same tree at any Workers count.
 	NodeLimit int
+	// Workers is the tree-search parallelism (0 = GOMAXPROCS). Workers
+	// speculatively solve node relaxations ahead of the deterministic
+	// commit order; the committed result is identical at any value.
+	Workers int
+	// Branching selects the branching rule: "pseudocost" (default, with
+	// reliability initialization by strong branching) or "mostfrac".
+	Branching string
+	// NoPresolve skips the presolve reductions (for ablations).
+	NoPresolve bool
+	// Interrupt, when non-nil, is polled between node commits; once it
+	// returns true the search stops and reports FeasibleBudget (or
+	// NoSolution). This is the wall-clock opt-out: callers wire a
+	// deadline here and accept nondeterministic truncation. Leave nil
+	// for deterministic runs.
+	Interrupt func() bool
 	// WarmObj primes the incumbent objective (e.g. from a heuristic);
 	// use with WarmX. Zero values mean no warm start.
 	WarmObj float64
@@ -78,25 +99,24 @@ type Result struct {
 	Obj float64
 	// BoundObj is the proven lower bound on the optimum.
 	BoundObj float64
-	// Nodes explored; Elapsed wall time.
-	Nodes   int
-	Elapsed time.Duration
+	// Nodes counts committed branch-and-bound nodes. Under a NodeLimit
+	// budget it is identical at any Workers count.
+	Nodes int
+	// Presolve reductions: variables fixed, rows eliminated, bound
+	// tightenings applied.
+	PresolveFixedVars   int
+	PresolveDroppedRows int
+	PresolveTightened   int
+	// Branching echoes the rule that ran; StrongLPs counts the strong-
+	// branching LP solves spent on reliability initialization (these are
+	// not part of Nodes).
+	Branching string
+	StrongLPs int
 }
 
 const intTol = 1e-6
 
-type fix struct {
-	j int
-	v float64
-}
-
-type node struct {
-	fixes []fix
-	// bound is the parent's LP objective: a lower bound on this node.
-	bound float64
-}
-
-// Solve runs branch and bound.
+// Solve runs presolve then a deterministic parallel branch and bound.
 func Solve(m *Model, opts Options) (Result, error) {
 	if err := m.Problem.Validate(); err != nil {
 		return Result{}, err
@@ -116,12 +136,6 @@ func Solve(m *Model, opts Options) (Result, error) {
 	if nodeLimit <= 0 {
 		nodeLimit = 1 << 20
 	}
-	//lint:allow detrand opts.TimeLimit is an explicit caller-chosen wall-clock budget; ROADMAP item 3 (deterministic parallel B&B) replaces it with node/work budgets
-	start := time.Now()
-	deadline := time.Time{}
-	if opts.TimeLimit > 0 {
-		deadline = start.Add(opts.TimeLimit)
-	}
 
 	res := Result{Obj: math.Inf(1), BoundObj: math.Inf(-1)}
 	if opts.HasWarm {
@@ -129,155 +143,40 @@ func Solve(m *Model, opts Options) (Result, error) {
 		res.X = append([]float64(nil), opts.WarmX...)
 	}
 
-	// Base bounds (copied per node with fixes applied).
-	baseL := make([]float64, n)
-	baseU := make([]float64, n)
-	for j := 0; j < n; j++ {
-		baseL[j] = lowerOf(&m.Problem, j)
-		baseU[j] = upperOf(&m.Problem, j)
+	rd := reduce(m, isInt, !opts.NoPresolve)
+	res.PresolveFixedVars = rd.nFixed
+	res.PresolveDroppedRows = rd.nRows
+	res.PresolveTightened = rd.nBounds
+	if !rd.feasible {
+		res.Status = InfeasibleProven
+		res.X = nil
+		res.Obj = math.Inf(1)
+		return res, nil
 	}
 
-	stack := []node{{bound: math.Inf(-1)}}
-	rootSolved := false
-	anyPrunedByBudget := false
-
-	for len(stack) > 0 {
-		//lint:allow detrand deadline pruning only fires when the caller opted into a wall-clock TimeLimit; Status reports the truncation
-		if res.Nodes >= nodeLimit || (!deadline.IsZero() && time.Now().After(deadline)) {
-			anyPrunedByBudget = true
-			break
-		}
-		nd := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-
-		// Bound pruning against the incumbent.
-		if nd.bound >= res.Obj-1e-9 {
-			continue
-		}
-
-		// Node LP.
-		sub := m.Problem
-		L := append([]float64(nil), baseL...)
-		U := append([]float64(nil), baseU...)
-		for _, f := range nd.fixes {
-			L[f.j], U[f.j] = f.v, f.v
-		}
-		sub.L, sub.U = L, U
-		res.Nodes++
-		r, err := lp.Solve(&sub)
-		if err != nil {
-			return Result{}, err
-		}
-		switch r.Status {
-		case lp.Infeasible:
-			continue
-		case lp.Unbounded:
-			if !rootSolved {
-				res.Status = RelaxUnbounded
-				res.Elapsed = time.Since(start) //lint:allow detrand Elapsed is reporting-only telemetry, never an input to the solve
-				return res, nil
-			}
-			continue
-		case lp.IterLimit:
-			// Treat as unpruned but unusable; be conservative.
-			anyPrunedByBudget = true
-			continue
-		}
-		if !rootSolved {
-			rootSolved = true
-			res.BoundObj = r.Obj
-		}
-		if r.Obj >= res.Obj-1e-9 {
-			continue
-		}
-
-		// Most fractional integer variable.
-		branchVar, worst := -1, intTol
-		for j := 0; j < n; j++ {
-			if !isInt[j] {
-				continue
-			}
-			f := math.Abs(r.X[j] - math.Round(r.X[j]))
-			if f > worst {
-				worst = f
-				branchVar = j
-			}
-		}
-		if branchVar < 0 {
-			// Integer feasible: round off the noise and accept.
-			x := append([]float64(nil), r.X...)
-			for j := 0; j < n; j++ {
-				if isInt[j] {
-					x[j] = math.Round(x[j])
-				}
-			}
-			obj := 0.0
-			for j := 0; j < n; j++ {
-				obj += m.C[j] * x[j]
-			}
-			if obj < res.Obj {
-				res.Obj = obj
-				res.X = x
-			}
-			continue
-		}
-
-		// Branch: child with the nearer value explored first (pushed
-		// last). Both inherit this node's LP objective as their bound.
-		lo := math.Floor(r.X[branchVar])
-		hi := lo + 1
-		down := node{fixes: appendFix(nd.fixes, fix{branchVar, lo}), bound: r.Obj}
-		up := node{fixes: appendFix(nd.fixes, fix{branchVar, hi}), bound: r.Obj}
-		if clampOK(baseL, baseU, branchVar, lo) && clampOK(baseL, baseU, branchVar, hi) {
-			if r.X[branchVar]-lo > 0.5 {
-				stack = append(stack, down, up)
-			} else {
-				stack = append(stack, up, down)
-			}
-		} else if clampOK(baseL, baseU, branchVar, lo) {
-			stack = append(stack, down)
-		} else if clampOK(baseL, baseU, branchVar, hi) {
-			stack = append(stack, up)
-		}
+	br, err := newBrancher(opts.Branching, len(rd.m.C))
+	if err != nil {
+		return Result{}, err
 	}
+	res.Branching = br.name()
 
-	res.Elapsed = time.Since(start) //lint:allow detrand Elapsed is reporting-only telemetry, never an input to the solve
-	// Remaining frontier contributes to the proven bound.
-	frontier := res.Obj
-	for _, nd := range stack {
-		if nd.bound < frontier {
-			frontier = nd.bound
-		}
-	}
-	if len(stack) == 0 && !anyPrunedByBudget {
-		if math.IsInf(res.Obj, 1) {
-			res.Status = InfeasibleProven
-			return res, nil
+	if len(rd.m.C) == 0 {
+		// Presolve fixed every variable: the model is solved outright.
+		obj := rd.offset
+		if obj < res.Obj {
+			res.Obj = obj
+			res.X = rd.postsolve(nil)
 		}
 		res.Status = OptimalProven
 		res.BoundObj = res.Obj
 		return res, nil
 	}
-	if math.IsInf(res.Obj, 1) {
-		res.Status = NoSolution
-	} else {
-		res.Status = FeasibleBudget
-		if frontier > res.BoundObj {
-			res.BoundObj = frontier
-		}
+
+	sr := newSearch(rd, br, opts.Workers)
+	if err := sr.run(&res, nodeLimit, opts.Interrupt); err != nil {
+		return Result{}, err
 	}
 	return res, nil
-}
-
-func appendFix(fs []fix, f fix) []fix {
-	out := make([]fix, len(fs)+1)
-	copy(out, fs)
-	out[len(fs)] = f
-	return out
-}
-
-func clampOK(l, u []float64, j int, v float64) bool {
-	return v >= l[j]-1e-9 && v <= u[j]+1e-9
 }
 
 func lowerOf(p *lp.Problem, j int) float64 {

@@ -152,7 +152,7 @@ func TestNodeBudgetReportsBound(t *testing.T) {
 	}
 }
 
-func TestTimeLimit(t *testing.T) {
+func TestInterruptStopsSearch(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	n := 40
 	m := &Model{Problem: lp.Problem{
@@ -175,14 +175,17 @@ func TestTimeLimit(t *testing.T) {
 		m.B[i] = float64(n) / 3
 	}
 	startT := time.Now()
-	r, err := Solve(m, Options{TimeLimit: 50 * time.Millisecond})
+	deadline := startT.Add(50 * time.Millisecond)
+	r, err := Solve(m, Options{Interrupt: func() bool { return time.Now().After(deadline) }})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if elapsed := time.Since(startT); elapsed > 3*time.Second {
-		t.Errorf("time limit not respected: ran %v", elapsed)
+		t.Errorf("interrupt not respected: ran %v", elapsed)
 	}
-	_ = r
+	if r.Status == FeasibleBudget && r.BoundObj > r.Obj+1e-9 {
+		t.Errorf("bound %f above incumbent %f", r.BoundObj, r.Obj)
+	}
 }
 
 // exhaustive solves a pure binary program by enumeration.

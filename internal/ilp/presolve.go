@@ -1,0 +1,467 @@
+package ilp
+
+// Presolve shrinks a model before the tree search: activity-based bound
+// tightening (with integer rounding), singleton-row conversion, redundant-
+// row elimination, duality fixing, and substitution of fixed variables.
+// Every reduction either preserves the full feasible set (tightening, row
+// elimination) or provably keeps at least one optimal solution (duality
+// fixing), so the reduced optimum equals the original optimum. The
+// reduction carries a transform log — kept-column map, fixed values,
+// objective offset — that maps reduced solutions back to original
+// variables via postsolve.
+
+import (
+	"math"
+
+	"repro/internal/lp"
+)
+
+const (
+	psFeasTol   = 1e-7
+	psMaxPasses = 10
+)
+
+// reduction is the presolved model plus the transform log back to the
+// original variable space.
+type reduction struct {
+	m *Model // reduced model; L/U always materialized
+	// keep maps reduced column -> original column.
+	keep []int
+	// fixed/fixVal record presolved-away original columns.
+	fixed  []bool
+	fixVal []float64
+	// offset is the objective contribution of the fixed columns:
+	// originalObj = reducedObj + offset.
+	offset float64
+	// diagnostics
+	nFixed, nRows, nBounds int
+	// feasible is false when presolve proved the model empty.
+	feasible bool
+}
+
+// postsolve maps a reduced solution vector back to original variables.
+func (rd *reduction) postsolve(xRed []float64) []float64 {
+	x := make([]float64, len(rd.fixed))
+	for r, j := range rd.keep {
+		x[j] = xRed[r]
+	}
+	for j, f := range rd.fixed {
+		if f {
+			x[j] = rd.fixVal[j]
+		}
+	}
+	return x
+}
+
+// reduce runs the presolve loop. With enable=false it only materializes
+// bounds (the identity transform), so the search code has one shape.
+func reduce(m *Model, isInt []bool, enable bool) *reduction {
+	n := len(m.C)
+	L := make([]float64, n)
+	U := make([]float64, n)
+	for j := 0; j < n; j++ {
+		L[j] = lowerOf(&m.Problem, j)
+		U[j] = upperOf(&m.Problem, j)
+	}
+	rd := &reduction{
+		fixed:    make([]bool, n),
+		fixVal:   make([]float64, n),
+		feasible: true,
+	}
+	if !enable {
+		mm := &Model{Problem: m.Problem, Integer: isInt}
+		mm.L, mm.U = L, U
+		rd.m = mm
+		rd.keep = make([]int, n)
+		for j := range rd.keep {
+			rd.keep[j] = j
+		}
+		return rd
+	}
+
+	// Integer bounds start on the lattice; all later tightenings keep
+	// them there.
+	for j := 0; j < n; j++ {
+		if !isInt[j] {
+			continue
+		}
+		if !math.IsInf(L[j], -1) {
+			L[j] = math.Ceil(L[j] - intTol)
+		}
+		if !math.IsInf(U[j], 1) {
+			U[j] = math.Floor(U[j] + intTol)
+		}
+	}
+
+	nr := len(m.A)
+	alive := make([]bool, nr)
+	for k := range alive {
+		alive[k] = true
+	}
+
+	fix := func(j int, v float64) {
+		rd.fixed[j] = true
+		rd.fixVal[j] = v
+		L[j], U[j] = v, v
+		rd.nFixed++
+	}
+	// afterTighten fixes a variable whose interval collapsed and reports
+	// whether the interval is still non-empty.
+	afterTighten := func(j int) bool {
+		if L[j] > U[j]+psFeasTol {
+			rd.feasible = false
+			return false
+		}
+		if rd.fixed[j] {
+			return true
+		}
+		if isInt[j] {
+			if U[j]-L[j] < 0.5 {
+				fix(j, L[j])
+			}
+		} else if U[j]-L[j] <= 1e-9 {
+			fix(j, 0.5*(L[j]+U[j]))
+		}
+		return true
+	}
+	changed := false
+	tightenU := func(j int, v float64) bool {
+		if isInt[j] && !math.IsInf(v, 0) {
+			v = math.Floor(v + intTol)
+		}
+		thresh := 1e-9
+		if isInt[j] {
+			thresh = 0.5
+		}
+		if v < U[j]-thresh {
+			U[j] = v
+			rd.nBounds++
+			changed = true
+			return afterTighten(j)
+		}
+		return true
+	}
+	tightenL := func(j int, v float64) bool {
+		if isInt[j] && !math.IsInf(v, 0) {
+			v = math.Ceil(v - intTol)
+		}
+		thresh := 1e-9
+		if isInt[j] {
+			thresh = 0.5
+		}
+		if v > L[j]+thresh {
+			L[j] = v
+			rd.nBounds++
+			changed = true
+			return afterTighten(j)
+		}
+		return true
+	}
+
+	for pass := 0; pass < psMaxPasses && rd.feasible; pass++ {
+		changed = false
+		for k := 0; k < nr && rd.feasible; k++ {
+			if !alive[k] {
+				continue
+			}
+			row := m.A[k]
+			b := m.B[k]
+			rel := m.Rel[k]
+
+			// Row activity over current bounds, infinity-aware: finite
+			// part plus a count of infinite contributions.
+			minFin, maxFin := 0.0, 0.0
+			minInf, maxInf := 0, 0
+			nUnfixed, lastJ := 0, -1
+			for j, a := range row {
+				if a == 0 {
+					continue
+				}
+				if !rd.fixed[j] {
+					nUnfixed++
+					lastJ = j
+				}
+				lo, hi := L[j], U[j]
+				if a < 0 {
+					lo, hi = hi, lo
+				}
+				if math.IsInf(lo, 0) {
+					minInf++
+				} else {
+					minFin += a * lo
+				}
+				if math.IsInf(hi, 0) {
+					maxInf++
+				} else {
+					maxFin += a * hi
+				}
+			}
+			minAct, maxAct := minFin, maxFin
+			if minInf > 0 {
+				minAct = math.Inf(-1)
+			}
+			if maxInf > 0 {
+				maxAct = math.Inf(1)
+			}
+
+			// Feasibility and redundancy.
+			drop := false
+			switch rel {
+			case lp.LE:
+				if minAct > b+psFeasTol {
+					rd.feasible = false
+					continue
+				}
+				drop = maxAct <= b+psFeasTol
+			case lp.GE:
+				if maxAct < b-psFeasTol {
+					rd.feasible = false
+					continue
+				}
+				drop = minAct >= b-psFeasTol
+			case lp.EQ:
+				if minAct > b+psFeasTol || maxAct < b-psFeasTol {
+					rd.feasible = false
+					continue
+				}
+				drop = minAct >= b-psFeasTol && maxAct <= b+psFeasTol
+			}
+			if drop {
+				alive[k] = false
+				rd.nRows++
+				changed = true
+				continue
+			}
+
+			// Singleton row: one unfixed variable left. Fold the row
+			// into that variable's bounds and drop it.
+			if nUnfixed == 1 {
+				a := row[lastJ]
+				cFix := 0.0
+				for j, aj := range row {
+					if aj != 0 && j != lastJ {
+						cFix += aj * rd.fixVal[j]
+					}
+				}
+				v := (b - cFix) / a
+				ok := true
+				switch {
+				case rel == lp.EQ:
+					ok = tightenL(lastJ, v) && tightenU(lastJ, v)
+					if ok && math.Abs(U[lastJ]-L[lastJ]) > psFeasTol {
+						// Integer rounding emptied the point.
+						rd.feasible = false
+					}
+				case (rel == lp.LE) == (a > 0):
+					ok = tightenU(lastJ, v)
+				default:
+					ok = tightenL(lastJ, v)
+				}
+				if !ok {
+					continue
+				}
+				alive[k] = false
+				rd.nRows++
+				changed = true
+				continue
+			}
+
+			// Activity-based bound tightening. For ax <= b the minimum
+			// activity of the other variables caps each term; for
+			// ax >= b the maximum activity floors it. EQ rows tighten
+			// from both sides.
+			for j, a := range row {
+				if a == 0 || rd.fixed[j] {
+					continue
+				}
+				if rel == lp.LE || rel == lp.EQ {
+					// min activity excluding j
+					var others float64
+					ownInf := false
+					if a > 0 {
+						ownInf = math.IsInf(L[j], 0)
+						if !ownInf {
+							others = minFin - a*L[j]
+						}
+					} else {
+						ownInf = math.IsInf(U[j], 0)
+						if !ownInf {
+							others = minFin - a*U[j]
+						}
+					}
+					rest := minInf
+					if ownInf {
+						rest--
+					}
+					if rest == 0 {
+						ok := true
+						if a > 0 {
+							ok = tightenU(j, (b-others)/a)
+						} else {
+							ok = tightenL(j, (b-others)/a)
+						}
+						if !ok {
+							break
+						}
+					}
+				}
+				if rel == lp.GE || rel == lp.EQ {
+					// max activity excluding j
+					var others float64
+					ownInf := false
+					if a > 0 {
+						ownInf = math.IsInf(U[j], 0)
+						if !ownInf {
+							others = maxFin - a*U[j]
+						}
+					} else {
+						ownInf = math.IsInf(L[j], 0)
+						if !ownInf {
+							others = maxFin - a*L[j]
+						}
+					}
+					rest := maxInf
+					if ownInf {
+						rest--
+					}
+					if rest == 0 {
+						ok := true
+						if a > 0 {
+							ok = tightenL(j, (b-others)/a)
+						} else {
+							ok = tightenU(j, (b-others)/a)
+						}
+						if !ok {
+							break
+						}
+					}
+				}
+			}
+		}
+		if !rd.feasible {
+			break
+		}
+
+		// Duality fixing: a variable whose objective coefficient and
+		// column signs all pull the same way can sit at its bound in
+		// some optimum.
+		for j := 0; j < n && rd.feasible; j++ {
+			if rd.fixed[j] {
+				continue
+			}
+			cj := m.C[j]
+			downOK := cj >= 0 && !math.IsInf(L[j], -1)
+			upOK := cj <= 0 && !math.IsInf(U[j], 1)
+			if !downOK && !upOK {
+				continue
+			}
+			for k := 0; k < nr && (downOK || upOK); k++ {
+				if !alive[k] {
+					continue
+				}
+				a := m.A[k][j]
+				if a == 0 {
+					continue
+				}
+				switch m.Rel[k] {
+				case lp.LE:
+					if a < 0 {
+						downOK = false
+					} else {
+						upOK = false
+					}
+				case lp.GE:
+					if a > 0 {
+						downOK = false
+					} else {
+						upOK = false
+					}
+				case lp.EQ:
+					downOK, upOK = false, false
+				}
+			}
+			if downOK {
+				fix(j, L[j])
+				changed = true
+			} else if upOK {
+				fix(j, U[j])
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	if !rd.feasible {
+		return rd
+	}
+
+	// Build the reduced model: substitute fixed columns, drop dead rows.
+	for j := 0; j < n; j++ {
+		if !rd.fixed[j] {
+			rd.keep = append(rd.keep, j)
+		} else {
+			rd.offset += m.C[j] * rd.fixVal[j]
+		}
+	}
+	redN := len(rd.keep)
+	redC := make([]float64, redN)
+	redL := make([]float64, redN)
+	redU := make([]float64, redN)
+	redInt := make([]bool, redN)
+	for r, j := range rd.keep {
+		redC[r] = m.C[j]
+		redL[r] = L[j]
+		redU[r] = U[j]
+		redInt[r] = isInt[j]
+	}
+	var redA [][]float64
+	var redB []float64
+	var redRel []lp.Rel
+	for k := 0; k < nr; k++ {
+		if !alive[k] {
+			continue
+		}
+		row := m.A[k]
+		b := m.B[k]
+		nz := false
+		newRow := make([]float64, redN)
+		for r, j := range rd.keep {
+			newRow[r] = row[j]
+			if row[j] != 0 {
+				nz = true
+			}
+		}
+		for j, a := range row {
+			if a != 0 && rd.fixed[j] {
+				b -= a * rd.fixVal[j]
+			}
+		}
+		if !nz {
+			// Constant row that survived to the pass cap: decide it now.
+			ok := true
+			switch m.Rel[k] {
+			case lp.LE:
+				ok = 0 <= b+psFeasTol
+			case lp.GE:
+				ok = 0 >= b-psFeasTol
+			case lp.EQ:
+				ok = math.Abs(b) <= psFeasTol
+			}
+			if !ok {
+				rd.feasible = false
+				return rd
+			}
+			rd.nRows++
+			continue
+		}
+		redA = append(redA, newRow)
+		redB = append(redB, b)
+		redRel = append(redRel, m.Rel[k])
+	}
+	rd.m = &Model{
+		Problem: lp.Problem{C: redC, A: redA, Rel: redRel, B: redB, L: redL, U: redU},
+		Integer: redInt,
+	}
+	return rd
+}

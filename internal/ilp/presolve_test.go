@@ -1,0 +1,207 @@
+package ilp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/lp"
+)
+
+func TestPresolveFixesForcedBinaries(t *testing.T) {
+	// x1 + x2 >= 2 forces both binaries to 1; presolve alone solves it.
+	m := &Model{Problem: lp.Problem{
+		C:   []float64{3, 5},
+		A:   [][]float64{{1, 1}},
+		Rel: []lp.Rel{lp.GE},
+		B:   []float64{2},
+		U:   []float64{1, 1},
+	}}
+	r, err := Solve(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != OptimalProven || math.Abs(r.Obj-8) > 1e-9 {
+		t.Fatalf("status=%v obj=%f, want optimal 8", r.Status, r.Obj)
+	}
+	if r.X[0] != 1 || r.X[1] != 1 {
+		t.Fatalf("postsolve lost the fixed values: %v", r.X)
+	}
+	if r.PresolveFixedVars != 2 {
+		t.Errorf("fixed %d vars, want 2", r.PresolveFixedVars)
+	}
+	if r.Nodes != 0 {
+		t.Errorf("search ran %d nodes on a presolve-closed model", r.Nodes)
+	}
+}
+
+func TestPresolveDropsRedundantRow(t *testing.T) {
+	// x1 + x2 <= 5 can never bind for binaries; the knapsack result must
+	// be unaffected and the row reported as dropped.
+	m := &Model{Problem: lp.Problem{
+		C:   []float64{-10, -13, -7},
+		A:   [][]float64{{3, 4, 2}, {1, 1, 1}},
+		Rel: []lp.Rel{lp.LE, lp.LE},
+		B:   []float64{6, 5},
+		U:   []float64{1, 1, 1},
+	}}
+	r, err := Solve(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != OptimalProven || math.Abs(r.Obj+20) > 1e-6 {
+		t.Fatalf("status=%v obj=%f, want optimal -20", r.Status, r.Obj)
+	}
+	if r.PresolveDroppedRows == 0 {
+		t.Error("redundant row not eliminated")
+	}
+}
+
+func TestPresolveSingletonRow(t *testing.T) {
+	// 2*x2 <= 1 is a singleton: binary x2 must be 0.
+	m := &Model{Problem: lp.Problem{
+		C:   []float64{-1, -10},
+		A:   [][]float64{{0, 2}},
+		Rel: []lp.Rel{lp.LE},
+		B:   []float64{1},
+		U:   []float64{1, 1},
+	}}
+	r, err := Solve(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != OptimalProven || math.Abs(r.Obj+1) > 1e-9 {
+		t.Fatalf("status=%v obj=%f, want optimal -1", r.Status, r.Obj)
+	}
+	if r.X[1] != 0 {
+		t.Fatalf("x2 = %f, want 0", r.X[1])
+	}
+}
+
+func TestPresolveProvesInfeasible(t *testing.T) {
+	// Max activity of x1+x2 is 2 < 3: no search needed.
+	m := &Model{Problem: lp.Problem{
+		C:   []float64{1, 1},
+		A:   [][]float64{{1, 1}},
+		Rel: []lp.Rel{lp.GE},
+		B:   []float64{3},
+		U:   []float64{1, 1},
+	}}
+	r, err := Solve(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != InfeasibleProven {
+		t.Fatalf("status = %v, want infeasible", r.Status)
+	}
+	if r.Nodes != 0 {
+		t.Errorf("search ran %d nodes on a presolve-infeasible model", r.Nodes)
+	}
+}
+
+func TestPresolveDualityFixing(t *testing.T) {
+	// x2 has positive cost and only helps constraints when low: presolve
+	// can pin it at its lower bound without search.
+	m := &Model{Problem: lp.Problem{
+		C:   []float64{-2, 4},
+		A:   [][]float64{{1, 1}},
+		Rel: []lp.Rel{lp.LE},
+		B:   []float64{1},
+		U:   []float64{1, 1},
+	}}
+	r, err := Solve(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != OptimalProven || math.Abs(r.Obj+2) > 1e-9 {
+		t.Fatalf("status=%v obj=%f, want optimal -2", r.Status, r.Obj)
+	}
+	if r.X[1] != 0 {
+		t.Fatalf("x2 = %f, want duality-fixed 0", r.X[1])
+	}
+}
+
+// TestPresolveAblationMatches proves presolve changes the work, never the
+// answer: on random binary programs both configurations agree with each
+// other (and transitively with the exhaustive oracle, which the
+// enumeration suite pins).
+func TestPresolveAblationMatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 80; trial++ {
+		m := randomBinaryModel(rng)
+		on, err := Solve(m, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		off, err := Solve(m, Options{NoPresolve: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if on.Status != off.Status {
+			t.Fatalf("trial %d: presolve on=%v off=%v", trial, on.Status, off.Status)
+		}
+		if on.Status == OptimalProven && math.Abs(on.Obj-off.Obj) > 1e-6 {
+			t.Fatalf("trial %d: presolve on obj %f, off %f", trial, on.Obj, off.Obj)
+		}
+		// The incumbent must satisfy the original rows exactly.
+		if on.Status == OptimalProven {
+			checkFeasible(t, trial, m, on.X)
+		}
+	}
+}
+
+func checkFeasible(t *testing.T, trial int, m *Model, x []float64) {
+	t.Helper()
+	for i, row := range m.A {
+		v := 0.0
+		for j := range row {
+			v += row[j] * x[j]
+		}
+		ok := true
+		switch m.Rel[i] {
+		case lp.LE:
+			ok = v <= m.B[i]+1e-6
+		case lp.GE:
+			ok = v >= m.B[i]-1e-6
+		case lp.EQ:
+			ok = math.Abs(v-m.B[i]) <= 1e-6
+		}
+		if !ok {
+			t.Fatalf("trial %d: postsolved incumbent violates row %d: %f vs %f", trial, i, v, m.B[i])
+		}
+	}
+}
+
+func randomBinaryModel(rng *rand.Rand) *Model {
+	n := 3 + rng.Intn(8)
+	rows := 1 + rng.Intn(4)
+	m := &Model{Problem: lp.Problem{
+		C:   make([]float64, n),
+		A:   make([][]float64, rows),
+		Rel: make([]lp.Rel, rows),
+		B:   make([]float64, rows),
+		U:   make([]float64, n),
+	}}
+	for j := 0; j < n; j++ {
+		m.C[j] = float64(rng.Intn(21) - 10)
+		m.U[j] = 1
+	}
+	for i := 0; i < rows; i++ {
+		m.A[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			m.A[i][j] = float64(rng.Intn(9) - 3)
+		}
+		switch rng.Intn(3) {
+		case 0:
+			m.Rel[i] = lp.LE
+			m.B[i] = float64(rng.Intn(2 * n))
+		case 1:
+			m.Rel[i] = lp.GE
+			m.B[i] = float64(-rng.Intn(n))
+		default:
+			m.Rel[i] = lp.LE
+			m.B[i] = float64(rng.Intn(n))
+		}
+	}
+	return m
+}

@@ -142,6 +142,8 @@ type simplex struct {
 	ub      []float64 // shifted upper bounds per column
 	d       []float64 // reduced costs
 	cost    []float64 // phase cost vector
+	act     []int     // columns with ub > 0, ascending (see rebuildActive)
+	nz      []int     // per-pivot scratch: active nonzeros of the pivot row
 	objVal  float64
 	artBase int
 	iters   int
@@ -357,10 +359,26 @@ func (s *simplex) setPhase2Cost(p *Problem) {
 	s.computeReducedCosts()
 }
 
+// rebuildActive recollects the columns with room to move (ub > 0). A frozen
+// column — a variable fixed by its bounds, or an artificial zeroed after
+// phase 1 — can never be priced into the basis again, so nothing ever reads
+// its tableau entries; dropping such columns from the pivot updates leaves
+// them stale but shrinks every elimination to the live width. Called at each
+// phase start, after any freezing, so the list is exact for the whole phase.
+func (s *simplex) rebuildActive() {
+	s.act = s.act[:0]
+	for j := 0; j < s.nCols; j++ {
+		if s.ub[j] > 0 {
+			s.act = append(s.act, j)
+		}
+	}
+}
+
 // computeReducedCosts rebuilds d = c - c_B * T and the objective value from
 // scratch (done at each phase start).
 func (s *simplex) computeReducedCosts() {
-	for j := 0; j < s.nCols; j++ {
+	s.rebuildActive()
+	for _, j := range s.act {
 		s.d[j] = s.cost[j]
 	}
 	for i := 0; i < s.m; i++ {
@@ -369,7 +387,7 @@ func (s *simplex) computeReducedCosts() {
 			continue
 		}
 		row := s.T[i]
-		for j := 0; j < s.nCols; j++ {
+		for _, j := range s.act {
 			s.d[j] -= cb * row[j]
 		}
 	}
@@ -403,8 +421,8 @@ func (s *simplex) run(limit int) Status {
 // reduced cost, or at its upper bound with a positive one.
 func (s *simplex) price() int {
 	best, bestScore := -1, tolCost
-	for j := 0; j < s.nCols; j++ {
-		if s.stat[j] == isBasic || s.ub[j] == 0 {
+	for _, j := range s.act {
+		if s.stat[j] == isBasic {
 			continue
 		}
 		var score float64
@@ -513,13 +531,20 @@ func (s *simplex) step(q int) Status {
 	s.basis[leave] = q
 	s.xB[leave] = newVal
 
-	// Gaussian elimination on the tableau and the reduced-cost row.
+	// Gaussian elimination on the tableau and the reduced-cost row, over
+	// the active columns only (frozen columns are never read again).
 	piv := s.T[leave][q]
 	row := s.T[leave]
 	inv := 1 / piv
-	for j := 0; j < s.nCols; j++ {
+	nz := s.nz[:0] // active nonzeros of the normalized pivot row
+	for _, j := range s.act {
+		if row[j] == 0 {
+			continue
+		}
 		row[j] *= inv
+		nz = append(nz, j)
 	}
+	s.nz = nz
 	for i := 0; i < s.m; i++ {
 		if i == leave {
 			continue
@@ -529,14 +554,14 @@ func (s *simplex) step(q int) Status {
 			continue
 		}
 		ri := s.T[i]
-		for j := 0; j < s.nCols; j++ {
+		for _, j := range nz {
 			ri[j] -= f * row[j]
 		}
 		ri[q] = 0 // exact zero against round-off
 	}
 	f := s.d[q]
 	if f != 0 {
-		for j := 0; j < s.nCols; j++ {
+		for _, j := range nz {
 			s.d[j] -= f * row[j]
 		}
 		s.d[q] = 0

@@ -9,6 +9,7 @@ import (
 
 	"repro"
 	"repro/internal/core"
+	"repro/internal/ilp"
 	"repro/internal/tech"
 	"repro/internal/variation"
 )
@@ -70,8 +71,55 @@ type DieRequest struct {
 type TuneResponse struct {
 	// Summary is set in flow mode (no die requested).
 	Summary *repro.Summary `json:"summary,omitempty"`
+	// ILP carries the branch-and-bound diagnostics of a flow-mode tune
+	// whose solver ran the exact engine ("ilp" or "race"). The solves run
+	// under node budgets, so every field is deterministic and safe to
+	// include in the byte-reproducible response.
+	ILP *ILPDiag `json:"ilp,omitempty"`
 	// Die is set in die mode.
 	Die *DieResult `json:"die,omitempty"`
+}
+
+// ILPDiag is the wire form of the exact solver's ilp.Result diagnostics.
+type ILPDiag struct {
+	// Status is the branch-and-bound outcome ("optimal",
+	// "feasible(budget)", ...); Proven mirrors status == "optimal".
+	Status string `json:"status"`
+	Proven bool   `json:"proven"`
+	// Nodes counts explored branch-and-bound nodes, StrongLPs the child
+	// relaxations solved during strong branching.
+	Nodes     int `json:"nodes"`
+	StrongLPs int `json:"strongLPs,omitempty"`
+	// GapPct is the relative optimality gap of a budget-truncated solve
+	// (0 when proven).
+	GapPct float64 `json:"gapPct"`
+	// Branching names the rule that ran; Presolve* count the reductions.
+	Branching           string `json:"branching,omitempty"`
+	PresolveFixedVars   int    `json:"presolveFixedVars,omitempty"`
+	PresolveDroppedRows int    `json:"presolveDroppedRows,omitempty"`
+	PresolveTightened   int    `json:"presolveTightened,omitempty"`
+	// RaceWinner names the winning portfolio member of a "race" solve.
+	RaceWinner string `json:"raceWinner,omitempty"`
+}
+
+// ilpDiag digests a Result's exact-solve diagnostics (nil when none ran).
+func ilpDiag(res *repro.Result) *ILPDiag {
+	ir := res.ILPResult
+	if ir == nil {
+		return nil
+	}
+	return &ILPDiag{
+		Status:              ir.Status.String(),
+		Proven:              ir.Status == ilp.OptimalProven,
+		Nodes:               ir.Nodes,
+		StrongLPs:           ir.StrongLPs,
+		GapPct:              ir.Gap() * 100,
+		Branching:           ir.Branching,
+		PresolveFixedVars:   ir.PresolveFixedVars,
+		PresolveDroppedRows: ir.PresolveDroppedRows,
+		PresolveTightened:   ir.PresolveTightened,
+		RaceWinner:          res.RaceWinner,
+	}
 }
 
 // YieldRequest is the body of POST /v1/yield: a Monte-Carlo yield study
@@ -162,16 +210,21 @@ type YieldStatsJSON struct {
 
 // Table1Request is the body of POST /v1/table1. Cells run sequentially
 // within the request (cross-request parallelism comes from the worker
-// pool), so the non-ILP columns are byte-reproducible.
+// pool), and the exact solves run under node budgets, so every column is
+// byte-reproducible unless ilpTimeLimitMS opts back into the wall clock.
 type Table1Request struct {
 	// Benchmarks to run (default: all nine in paper order).
 	Benchmarks []string `json:"benchmarks,omitempty"`
 	// Betas to evaluate (default 5% and 10%).
 	Betas []float64 `json:"betas,omitempty"`
-	// ILPTimeLimitMS bounds each exact solve (default 20000).
+	// ILPNodeLimit bounds each exact solve's branch-and-bound nodes
+	// (default 50000); results are deterministic under it.
+	ILPNodeLimit int `json:"ilpNodeLimit,omitempty"`
+	// ILPTimeLimitMS additionally interrupts each exact solve on wall
+	// clock (0 = none). Truncated cells then vary run to run.
 	ILPTimeLimitMS int `json:"ilpTimeLimitMS,omitempty"`
 	// ILPGateLimit skips the ILP on larger designs (default 5000; use 1
-	// to skip it everywhere for deterministic responses).
+	// to skip it everywhere).
 	ILPGateLimit int `json:"ilpGateLimit,omitempty"`
 	// Solver names the engine behind the non-ILP columns.
 	Solver string `json:"solver,omitempty"`
@@ -326,6 +379,9 @@ func (q *Table1Request) validate() *apiError {
 		if b <= 0 || b > 1 {
 			return badRequest("beta %g out of range (0, 1]", b)
 		}
+	}
+	if q.ILPNodeLimit < 0 || q.ILPNodeLimit > 10_000_000 {
+		return badRequest("ilpNodeLimit %d out of range [0, 10000000]", q.ILPNodeLimit)
 	}
 	if q.ILPTimeLimitMS < 0 || q.ILPTimeLimitMS > 600_000 {
 		return badRequest("ilpTimeLimitMS %d out of range [0, 600000]", q.ILPTimeLimitMS)

@@ -301,7 +301,7 @@ func (s *Server) prefix(ctx context.Context, ref *DesignRef) (*flow.Prefix, *api
 // the same resolution the in-process drivers use — turning a typo into the
 // client's 400.
 func resolveSolver(name string) (core.Solver, *apiError) {
-	sv, err := repro.NamedSolver(name, 0)
+	sv, err := repro.NamedSolver(name, core.ILPOptions{})
 	if err != nil {
 		return nil, badRequest("%v", err)
 	}
@@ -349,7 +349,7 @@ func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
 			writeError(w, &apiError{status: http.StatusInternalServerError, msg: err.Error()})
 			return
 		}
-		writeJSON(w, http.StatusOK, TuneResponse{Summary: res.Summarize()})
+		writeJSON(w, http.StatusOK, TuneResponse{Summary: res.Summarize(), ILP: ilpDiag(res)})
 		return
 	}
 
@@ -478,6 +478,7 @@ func (s *Server) handleTable1(w http.ResponseWriter, r *http.Request) {
 		betas = []float64{0.05, 0.10}
 	}
 	opts := repro.Table1Options{
+		ILPNodeLimit: req.ILPNodeLimit,
 		ILPTimeLimit: time.Duration(req.ILPTimeLimitMS) * time.Millisecond,
 		ILPGateLimit: req.ILPGateLimit,
 		Solver:       req.Solver,

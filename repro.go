@@ -21,6 +21,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/flow"
 	"repro/internal/gen"
+	"repro/internal/ilp"
 	"repro/internal/layout"
 	"repro/internal/netlist"
 	"repro/internal/place"
@@ -45,13 +46,23 @@ type Config struct {
 
 	// Solver names the registered core.Solver producing the Result's
 	// primary allocation ("" = "heuristic"; see core.SolverNames). The
-	// "ilp" solver is configured with ILPTimeLimit; selecting it makes the
-	// primary allocation exact, independently of RunILP.
+	// "ilp" and "race" solvers are configured with the ILP* budgets below;
+	// selecting "ilp" makes the primary allocation exact, independently of
+	// RunILP.
 	Solver string
 
-	// RunILP additionally runs the exact allocator with ILPTimeLimit
-	// (default 30s when RunILP is set).
-	RunILP       bool
+	// RunILP additionally runs the exact allocator under the ILP* budgets.
+	RunILP bool
+	// ILPNodeLimit bounds explored branch-and-bound nodes (0 = solver
+	// default, 1<<20). Node budgets are deterministic: the same instance
+	// and limit return bit-identical allocations at any ILPWorkers.
+	ILPNodeLimit int
+	// ILPWorkers sets the branch-and-bound tree parallelism (0 =
+	// GOMAXPROCS); it changes wall clock only, never the result.
+	ILPWorkers int
+	// ILPTimeLimit additionally interrupts the exact solve on wall clock
+	// (0 = none). Unlike the node budget, where the clock cuts the tree
+	// is machine-dependent, so truncated results may vary run to run.
 	ILPTimeLimit time.Duration
 
 	// ForceRows overrides the placer's row count (0 = automatic).
@@ -80,6 +91,14 @@ type Result struct {
 	// ILPNodes the explored nodes.
 	ILPStatus string
 	ILPNodes  int
+	// ILPResult carries the full branch-and-bound diagnostics (nodes,
+	// bound, presolve reductions, branching rule, strong-branching LPs) of
+	// the most recent exact solve — RunILP's, or the primary solver's when
+	// it is "ilp" or "race". Nil when no exact solve ran.
+	ILPResult *ilp.Result
+	// RaceWinner names the portfolio member whose solution the "race"
+	// solver returned ("" unless Solver is "race").
+	RaceWinner string
 
 	// HeuristicTime and ILPTime are wall-clock allocator runtimes.
 	HeuristicTime time.Duration
@@ -201,10 +220,12 @@ func stageProblem(pfx *flow.Prefix, cfg Config) (*Result, error) {
 
 // NamedSolver resolves a registered solver name to a core.Solver value
 // ("" and "heuristic" resolve to nil, the built-in default), threading
-// ilpBudget (<= 0 = 30s) into an "ilp" selection. It is the single solver
-// resolution path shared by the in-process drivers and the fbbd service,
-// so the two cannot drift.
-func NamedSolver(name string, ilpBudget time.Duration) (core.Solver, error) {
+// ilpOpts into an "ilp" or "race" selection. The zero options are the
+// deterministic default: a node budget (ilp's 1<<20) instead of the
+// historical 30s wall clock. NamedSolver is the single solver resolution
+// path shared by the in-process drivers and the fbbd service, so the two
+// cannot drift.
+func NamedSolver(name string, ilpOpts core.ILPOptions) (core.Solver, error) {
 	if name == "" || name == "heuristic" {
 		return nil, nil
 	}
@@ -212,19 +233,29 @@ func NamedSolver(name string, ilpBudget time.Duration) (core.Solver, error) {
 	if err != nil {
 		return nil, err
 	}
-	if ilps, ok := s.(*core.ILPSolver); ok {
-		if ilpBudget <= 0 {
-			ilpBudget = 30 * time.Second
-		}
-		ilps.Opts.TimeLimit = ilpBudget
+	switch sv := s.(type) {
+	case *core.ILPSolver:
+		sv.Opts = ilpOpts
+	case *core.RaceSolver:
+		sv.ILP = ilpOpts
 	}
 	return s, nil
 }
 
+// ilpOptions collects Config's exact-solve budgets (WarmStart unset).
+func (cfg Config) ilpOptions() core.ILPOptions {
+	return core.ILPOptions{
+		NodeLimit: cfg.ILPNodeLimit,
+		Workers:   cfg.ILPWorkers,
+		TimeLimit: cfg.ILPTimeLimit,
+	}
+}
+
 // resolveSolver maps Config.Solver to a core.Solver value ("" = the
-// default heuristic), threading the ILP budget into an "ilp" selection.
+// default heuristic), threading the ILP budgets into an "ilp" or "race"
+// selection.
 func resolveSolver(cfg Config) (core.Solver, string, error) {
-	s, err := NamedSolver(cfg.Solver, cfg.ILPTimeLimit)
+	s, err := NamedSolver(cfg.Solver, cfg.ilpOptions())
 	if err != nil {
 		return nil, "", err
 	}
@@ -257,26 +288,24 @@ func stageAllocate(res *Result, cfg Config) error {
 	}
 	res.Heuristic = sol.Clone()
 	res.HeuristicTime = time.Since(start)
+	res.ILPResult = res.inst.ILPResult
+	res.RaceWinner = res.inst.RaceWinner
 
 	if cfg.RunILP {
-		limit := cfg.ILPTimeLimit
-		if limit <= 0 {
-			limit = 30 * time.Second
-		}
+		opts := cfg.ilpOptions()
+		opts.WarmStart = res.Heuristic
 		start = time.Now()
-		sol, ires, err := res.Problem.SolveILP(core.ILPOptions{
-			TimeLimit: limit,
-			WarmStart: res.Heuristic,
-		})
+		sol, ires, err := res.Problem.SolveILP(opts)
 		res.ILPTime = time.Since(start)
 		if err != nil {
 			return err
 		}
 		res.ILP = sol
-		if ires != nil {
-			res.ILPStatus = ires.Status.String()
-			res.ILPNodes = ires.Nodes
-		}
+		res.ILPResult = ires
+	}
+	if res.ILPResult != nil {
+		res.ILPStatus = res.ILPResult.Status.String()
+		res.ILPNodes = res.ILPResult.Nodes
 	}
 	return nil
 }
@@ -336,10 +365,10 @@ func (r *Result) summarizeAlloc(s *core.Solution) AllocSummary {
 }
 
 // Summarize digests the Result into its deterministic JSON form. The ILP
-// entry is present only when RunILP produced a solution; its Proven bit (and
-// nothing else wall-clock-dependent) is retained, so summaries of
-// time-budgeted ILP runs may still differ run to run — the heuristic and
-// local solvers are fully deterministic.
+// entry is present only when RunILP produced a solution. Under the default
+// node budgets every solver is fully deterministic; only a Config that sets
+// ILPTimeLimit can make summaries differ run to run (wall-clock truncation
+// cuts the tree at a machine-dependent point).
 func (r *Result) Summarize() *Summary {
 	s := &Summary{
 		Benchmark:   r.Design.Name,

@@ -35,10 +35,9 @@ func TestRunEndToEnd(t *testing.T) {
 
 func TestRunWithILP(t *testing.T) {
 	res, err := Run(Config{
-		Benchmark:    "c1355",
-		Beta:         0.05,
-		RunILP:       true,
-		ILPTimeLimit: 30 * time.Second,
+		Benchmark: "c1355",
+		Beta:      0.05,
+		RunILP:    true,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -113,9 +112,8 @@ func TestFigure1Driver(t *testing.T) {
 
 func TestTable1SmallSlice(t *testing.T) {
 	rows, err := Table1(Table1Options{
-		Benchmarks:   []string{"c1355"},
-		Betas:        []float64{0.05, 0.10},
-		ILPTimeLimit: 15 * time.Second,
+		Benchmarks: []string{"c1355"},
+		Betas:      []float64{0.05, 0.10},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -268,17 +266,28 @@ func TestRunSolverSelection(t *testing.T) {
 	if base.SolverName != "heuristic" {
 		t.Errorf("default SolverName = %q, want heuristic", base.SolverName)
 	}
-	for _, name := range []string{"local", "ilp"} {
+	for _, name := range []string{"local", "ilp", "race"} {
 		cfg := Config{Benchmark: "c1355", Beta: 0.05, Solver: name, SkipLayout: true}
-		if name == "ilp" {
-			cfg.ILPTimeLimit = 10 * time.Second
-		}
 		res, err := Run(cfg)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
-		if res.SolverName != name || res.Heuristic.Method != name {
-			t.Errorf("%s: reported (%q, %q)", name, res.SolverName, res.Heuristic.Method)
+		if res.SolverName != name {
+			t.Errorf("%s: SolverName = %q", name, res.SolverName)
+		}
+		switch name {
+		case "race":
+			// The race returns its winning member's solution and names it.
+			if res.RaceWinner == "" || res.Heuristic.Method != res.RaceWinner {
+				t.Errorf("race: winner %q but method %q", res.RaceWinner, res.Heuristic.Method)
+			}
+			if res.ILPResult == nil {
+				t.Error("race: no ILP diagnostics surfaced")
+			}
+		default:
+			if res.Heuristic.Method != name {
+				t.Errorf("%s: method %q", name, res.Heuristic.Method)
+			}
 		}
 		if !res.Problem.CheckTiming(res.Heuristic.Assign) {
 			t.Errorf("%s: allocation violates timing", name)
