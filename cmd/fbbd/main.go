@@ -15,6 +15,12 @@
 //
 //	fbbd [-addr :8080] [-cache 8] [-workers 0] [-queue 0]
 //	     [-max-dies 1000000] [-max-gates 100000] [-drain-timeout 30s]
+//	     [-drain-notice 0s]
+//
+// Behind fbbrouter, set -drain-notice to at least the router's
+// -health-interval: on SIGTERM the daemon then keeps its listener (and
+// /healthz, reporting draining:true) up that long before shutting down,
+// so the router re-hashes this replica's keys gracefully.
 package main
 
 import (
@@ -56,6 +62,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		maxDies      = fs.Int("max-dies", 1_000_000, "per-request die cap on /v1/yield")
 		maxGates     = fs.Int("max-gates", 100_000, "largest accepted design")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "shutdown budget for in-flight requests")
+		drainNotice  = fs.Duration("drain-notice", 0, "keep serving (503 + draining /healthz) this long before closing the listener, so a router can re-hash this replica's keys; set it >= the router's -health-interval")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -96,6 +103,15 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	// then let the HTTP server wait out the in-flight requests.
 	fmt.Fprintln(stdout, "fbbd: draining")
 	s.BeginDrain()
+	// In cluster mode the listener must outlive the drain signal long
+	// enough for the router's health poll to observe draining:true and
+	// re-hash this replica's keys — closing it immediately would turn the
+	// graceful handoff into connection-refused races. During the notice
+	// window new requests get 503 + Retry-After and in-flight streams run
+	// on undisturbed.
+	if *drainNotice > 0 {
+		time.Sleep(*drainNotice)
+	}
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -165,6 +166,78 @@ func TestGoldenSaturation503(t *testing.T) {
 
 	// Cancel the stream so the daemon's drain in cleanup is prompt.
 	release()
+}
+
+// TestDrainNoticeKeepsHealthzUp: with -drain-notice set, shutdown keeps
+// the listener answering for the notice window with /healthz reporting
+// draining:true and new work shed as 503 — the window fbbrouter needs to
+// observe the drain and re-hash this replica's keys before connections
+// start being refused.
+func TestDrainNoticeKeepsHealthzUp(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	pr, pw := io.Pipe()
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-drain-notice", "1s"}, pw, io.Discard)
+	}()
+	sc := bufio.NewScanner(pr)
+	if !sc.Scan() {
+		t.Fatalf("daemon produced no output: %v", sc.Err())
+	}
+	baseURL := strings.TrimPrefix(sc.Text(), "fbbd: listening on ")
+	go io.Copy(io.Discard, pr)
+	defer pw.Close()
+
+	healthz := func() (ok bool, draining bool) {
+		resp, err := http.Get(baseURL + "/healthz")
+		if err != nil {
+			return false, false
+		}
+		defer resp.Body.Close()
+		var hz struct {
+			Draining bool `json:"draining"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil {
+			return false, false
+		}
+		return true, hz.Draining
+	}
+	if ok, draining := healthz(); !ok || draining {
+		t.Fatalf("healthy daemon: ok=%v draining=%v", ok, draining)
+	}
+
+	cancel()
+	// Within the notice window the listener must still answer, now
+	// advertising the drain...
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		ok, draining := healthz()
+		if ok && draining {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("daemon never reported draining:true on a live listener")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// ...and shed new work with a clean 503, not a refused connection.
+	resp, err := http.Post(baseURL+"/v1/tune", "application/json", strings.NewReader(`{"benchmark":"c1355"}`))
+	if err != nil {
+		t.Fatalf("listener gone during the notice window: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining daemon answered %d, want 503", resp.StatusCode)
+	}
+
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("daemon exited with %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Error("daemon did not exit after the notice window")
+	}
 }
 
 func TestRunBadFlags(t *testing.T) {

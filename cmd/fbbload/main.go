@@ -1,8 +1,8 @@
-// Command fbbload replays mixed-endpoint traffic against a running fbbd at
-// a target QPS and reports per-endpoint latency percentiles — the
-// measurement half of the service's "heavy concurrent traffic" contract,
-// and the quickest way to watch the coalesced prefix cache and the 503
-// backpressure behave under load.
+// Command fbbload replays mixed-endpoint traffic against a running fbbd —
+// or a whole fbbd cluster — at a target QPS and reports per-endpoint
+// latency percentiles — the measurement half of the service's "heavy
+// concurrent traffic" contract, and the quickest way to watch the
+// coalesced prefix cache and the 503 backpressure behave under load.
 //
 // Traffic is an open-loop Poisson-less pacer: one request is dispatched
 // every 1/qps regardless of completions (up to -concurrency in flight;
@@ -11,9 +11,18 @@
 // -mix, benchmarks rotate through -bench, and every request is seeded from
 // -seed and its index, so a replay is deterministic end to end.
 //
+// Multi-target mode: -addr also accepts a comma-separated list of fbbd
+// base URLs (requests rotate across them) or a single fbbrouter URL (the
+// router places each request; fbbload discovers the replicas behind it).
+// Either way the run ends with a per-replica report — shed rate, prefix
+// builds (cache locality) and cache hit/miss deltas read from each
+// replica's /v1/stats — showing where every design's prefix actually
+// lives.
+//
 // Usage:
 //
-//	fbbload -addr http://127.0.0.1:8080 [-duration 10s] [-qps 50]
+//	fbbload -addr http://127.0.0.1:8080[,http://127.0.0.1:8081...]
+//	        [-duration 10s] [-qps 50]
 //	        [-mix tune=6,die=2,yield=1,table1=1] [-bench c1355,c3540]
 //	        [-beta 0.05] [-c 3] [-solver heuristic] [-dies 100]
 //	        [-concurrency 64] [-seed 1]
@@ -51,6 +60,9 @@ type sample struct {
 	endpoint string
 	latency  time.Duration
 	shed     bool // 503: deliberate backpressure, not a failure
+	// canceled: the run's context ended while the request was in flight —
+	// a shutdown artifact counted as a drop, never a server failure.
+	canceled bool
 	err      error
 }
 
@@ -58,7 +70,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("fbbload", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		addr        = fs.String("addr", "http://127.0.0.1:8080", "fbbd base URL")
+		addr        = fs.String("addr", "http://127.0.0.1:8080", "fbbd base URL, comma-separated list of them, or an fbbrouter URL")
 		duration    = fs.Duration("duration", 10*time.Second, "load duration")
 		qps         = fs.Float64("qps", 50, "target request rate")
 		concurrency = fs.Int("concurrency", 64, "max in-flight requests")
@@ -86,12 +98,27 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
-	benches := strings.Split(*benchList, ",")
-	for i := range benches {
-		benches[i] = strings.TrimSpace(benches[i])
+	benches, err := parseBenches(*benchList)
+	if err != nil {
+		return err
+	}
+	targets, err := parseTargets(*addr)
+	if err != nil {
+		return err
 	}
 
-	client := serve.NewClient(*addr)
+	clients := make([]*serve.Client, len(targets))
+	for i, tgt := range targets {
+		clients[i] = serve.NewClient(tgt)
+	}
+
+	// Cluster view: replicas to report on, and their stats before the run.
+	// A single target that answers /v1/stats with a replicas array is a
+	// router — the replicas behind it are what sheds and builds prefixes,
+	// so the report reads their counters, not the router's alone.
+	replicas, routerStats := discoverReplicas(ctx, clients)
+	before := snapshotStats(ctx, replicas)
+
 	rng := rand.New(rand.NewSource(*seed))
 
 	var (
@@ -122,9 +149,17 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 			case <-time.After(d):
 			case <-ctx.Done():
 			}
+			// Re-check after the sleep: the select falls through on
+			// cancellation too, and dispatching on the dead context would
+			// record a guaranteed-failed sample — a clean Ctrl-C would
+			// exit 1 claiming a server error.
+			if ctx.Err() != nil {
+				break
+			}
 		}
 		ep := mix.pick(rng)
 		bench := benches[i%len(benches)]
+		client := clients[i%len(clients)]
 		reqSeed := *seed + int64(i)
 		select {
 		case slots <- struct{}{}:
@@ -141,9 +176,14 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 			err := issue(ctx, client, ep, bench, reqSeed, *beta, *c, *solver, *dies)
 			s := sample{endpoint: ep, latency: time.Since(t0)}
 			var apiErr *serve.APIError
-			if errors.As(err, &apiErr) && apiErr.IsRetryable() {
+			switch {
+			case errors.As(err, &apiErr) && apiErr.IsRetryable():
 				s.shed = true
-			} else {
+			case err != nil && (errors.Is(err, context.Canceled) || ctx.Err() != nil):
+				// The run was cancelled under this request: whatever state
+				// it died in is shutdown fallout, not a server failure.
+				s.canceled = true
+			default:
 				s.err = err
 			}
 			record(s)
@@ -153,6 +193,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	elapsed := time.Since(start)
 
 	printReport(stdout, samples, elapsed, dispatched, clientDrops)
+	printReplicaReport(stdout, replicas, before, snapshotStats(ctx, replicas), routerStats)
 	failed := 0
 	for _, s := range samples {
 		if s.err != nil {
@@ -169,6 +210,87 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("%d request(s) failed", failed)
 	}
 	return nil
+}
+
+// parseBenches splits and validates the -bench list. Empty entries are
+// rejected loudly: silently rotating an empty benchmark name into every
+// Nth request produces a 400 storm that reads as server errors.
+func parseBenches(list string) ([]string, error) {
+	parts := strings.Split(list, ",")
+	benches := make([]string, 0, len(parts))
+	for _, b := range parts {
+		b = strings.TrimSpace(b)
+		if b == "" {
+			return nil, fmt.Errorf("empty benchmark name in -bench %q (trailing comma?)", list)
+		}
+		benches = append(benches, b)
+	}
+	if len(benches) == 0 {
+		return nil, fmt.Errorf("-bench must name at least one benchmark")
+	}
+	return benches, nil
+}
+
+// parseTargets splits and validates the -addr list.
+func parseTargets(list string) ([]string, error) {
+	parts := strings.Split(list, ",")
+	targets := make([]string, 0, len(parts))
+	for _, a := range parts {
+		a = strings.TrimSpace(a)
+		if a == "" {
+			return nil, fmt.Errorf("empty address in -addr %q (trailing comma?)", list)
+		}
+		targets = append(targets, a)
+	}
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("-addr must name at least one target")
+	}
+	return targets, nil
+}
+
+// discoverReplicas decides which servers the per-replica report reads: the
+// explicit -addr list, or — when the single target turns out to be a
+// router — the replicas its /v1/stats advertises. routerStats is non-nil
+// only in the router case.
+func discoverReplicas(ctx context.Context, clients []*serve.Client) ([]*serve.Client, func(context.Context) *serve.ClusterStatsResponse) {
+	if len(clients) != 1 {
+		return clients, nil
+	}
+	cs, err := clients[0].ClusterStats(ctx)
+	if err != nil || len(cs.Replicas) == 0 {
+		return clients, nil // plain fbbd (or unreachable: the run will say so)
+	}
+	replicas := make([]*serve.Client, len(cs.Replicas))
+	for i, r := range cs.Replicas {
+		replicas[i] = serve.NewClient(r.Addr)
+	}
+	router := clients[0]
+	return replicas, func(ctx context.Context) *serve.ClusterStatsResponse {
+		cs, err := router.ClusterStats(ctx)
+		if err != nil {
+			return nil
+		}
+		return cs
+	}
+}
+
+// snapshotStats reads each replica's /v1/stats (nil entries for replicas
+// that did not answer).
+func snapshotStats(ctx context.Context, replicas []*serve.Client) []*serve.StatsResponse {
+	out := make([]*serve.StatsResponse, len(replicas))
+	var wg sync.WaitGroup
+	for i, c := range replicas {
+		wg.Add(1)
+		go func(i int, c *serve.Client) {
+			defer wg.Done()
+			st, err := c.Stats(ctx)
+			if err == nil {
+				out[i] = st
+			}
+		}(i, c)
+	}
+	wg.Wait()
+	return out
 }
 
 // issue fires one request of the given kind.
@@ -265,17 +387,26 @@ func (m *weightedMix) pick(rng *rand.Rand) string {
 // printReport renders the per-endpoint latency table.
 func printReport(w io.Writer, samples []sample, elapsed time.Duration, dispatched, clientDrops int) {
 	byEP := map[string][]sample{}
+	canceled := 0
 	for _, s := range samples {
+		if s.canceled {
+			// Shutdown fallout: counted beside the pacer's client drops,
+			// kept out of the endpoint table so a clean Ctrl-C doesn't
+			// read as a burst of server errors.
+			canceled++
+			continue
+		}
 		byEP[s.endpoint] = append(byEP[s.endpoint], s)
 	}
+	completed := len(samples) - canceled
 	// Headline rates name their denominators: dispatched counts what the
 	// pacer actually sent, completed counts samples that came back. Mixing
 	// them (dispatched count beside a completed-samples rate) would let a
 	// shedding or drop-heavy run read as a merely slow one.
 	t := report.New(
 		fmt.Sprintf("fbbload — %d dispatched, %d completed in %s (%.1f req/s dispatched, %.1f req/s completed, %d client drops)",
-			dispatched, len(samples), elapsed.Round(time.Millisecond),
-			float64(dispatched)/elapsed.Seconds(), float64(len(samples))/elapsed.Seconds(), clientDrops),
+			dispatched, completed, elapsed.Round(time.Millisecond),
+			float64(dispatched)/elapsed.Seconds(), float64(completed)/elapsed.Seconds(), clientDrops+canceled),
 		"endpoint", "count", "ok", "shed", "errors", "p50", "p90", "p99", "max")
 	for _, ep := range endpoints {
 		ss := byEP[ep]
@@ -308,6 +439,54 @@ func printReport(w io.Writer, samples []sample, elapsed time.Duration, dispatche
 		t.Add(ep,
 			fmt.Sprint(len(ss)), fmt.Sprint(ok), fmt.Sprint(shed), fmt.Sprint(errs),
 			lat(0.50), lat(0.90), lat(0.99), lat(1))
+	}
+	fmt.Fprint(w, t.String())
+}
+
+// printReplicaReport renders the cluster view after a multi-target run:
+// per replica, the shed rate and the prefix builds (cache locality) the
+// run caused, from /v1/stats deltas. With one plain target the section is
+// still printed — a one-row cluster — so the counters read the same way
+// everywhere. routerStats, when non-nil, contributes the router's own
+// routing counters to the title.
+func printReplicaReport(w io.Writer, replicas []*serve.Client, before, after []*serve.StatsResponse, routerStats func(context.Context) *serve.ClusterStatsResponse) {
+	if len(replicas) == 0 {
+		return
+	}
+	title := "cluster — per-replica deltas over the run (shed% of arrivals; prefixBuilds = cache locality)"
+	var cluster *serve.ClusterStatsResponse
+	if routerStats != nil {
+		if cluster = routerStats(context.Background()); cluster != nil {
+			title = fmt.Sprintf("cluster — routed; router shed %d, per-replica deltas below (shed%% of arrivals; prefixBuilds = cache locality)",
+				cluster.Router.Shed)
+		}
+	}
+	t := report.New(title,
+		"replica", "arrived", "shed", "shed%", "prefixBuilds", "cacheHits", "cacheMisses", "failedJoins")
+	for i, c := range replicas {
+		b, a := before[i], after[i]
+		if b == nil || a == nil {
+			t.Add(c.BaseURL, "-", "-", "-", "-", "-", "-", "-")
+			continue
+		}
+		shed := a.Shed - b.Shed
+		hits := a.Cache.Hits - b.Cache.Hits
+		misses := a.Cache.Misses - b.Cache.Misses
+		failedJoins := a.Cache.FailedJoins - b.Cache.FailedJoins
+		// Cache.Builds, not the process-wide PrefixBuilds counter: the
+		// former is per server, so the column stays honest even when
+		// replicas share a process (tests, single-box clusters).
+		builds := a.Cache.Builds - b.Cache.Builds
+		// Arrivals at the replica = requests that reached admission: the
+		// ones shed there plus the ones that went on to a cache lookup.
+		arrived := shed + hits + misses + failedJoins
+		shedPct := "-"
+		if arrived > 0 {
+			shedPct = fmt.Sprintf("%.1f%%", 100*float64(shed)/float64(arrived))
+		}
+		t.Add(c.BaseURL,
+			fmt.Sprint(arrived), fmt.Sprint(shed), shedPct,
+			fmt.Sprint(builds), fmt.Sprint(hits), fmt.Sprint(misses), fmt.Sprint(failedJoins))
 	}
 	fmt.Fprint(w, t.String())
 }

@@ -123,6 +123,159 @@ func TestPercentile(t *testing.T) {
 	}
 }
 
+// TestParseBenchesRejectsEmptyEntries is the regression test for the
+// trailing-comma bug: "-bench c1355," used to rotate an empty benchmark
+// name into every Nth request, producing a 400 storm that read as server
+// errors. Empty entries must be a parse-time error naming the cause.
+func TestParseBenchesRejectsEmptyEntries(t *testing.T) {
+	for _, bad := range []string{"c1355,", ",c1355", "c1355,,c3540", "", " , "} {
+		if _, err := parseBenches(bad); err == nil {
+			t.Errorf("-bench %q accepted", bad)
+		} else if !strings.Contains(err.Error(), "-bench") {
+			t.Errorf("-bench %q: error %q does not name the flag", bad, err)
+		}
+	}
+	got, err := parseBenches(" c1355 , c3540 ")
+	if err != nil || len(got) != 2 || got[0] != "c1355" || got[1] != "c3540" {
+		t.Errorf("valid list parsed as %v, %v", got, err)
+	}
+	// Same contract for the -addr target list.
+	for _, bad := range []string{"http://a,", ",", ""} {
+		if _, err := parseTargets(bad); err == nil {
+			t.Errorf("-addr %q accepted", bad)
+		}
+	}
+	// And end to end: the run must die at flag parsing, not mid-traffic.
+	if err := run(context.Background(), []string{"-bench", "c1355,"}, io.Discard, io.Discard); err == nil {
+		t.Error("run accepted a trailing-comma -bench")
+	}
+}
+
+// TestLoadCancelledRunIsNotFailure is the regression test for the pacer
+// cancellation bugs: (1) after its inter-arrival sleep the pacer used to
+// dispatch one more request on an already-cancelled context, and (2)
+// requests killed mid-flight by the cancellation were classified as server
+// errors — together a clean Ctrl-C exited 1 blaming the server. A
+// cancelled run whose only casualties are cancellation fallout must exit
+// clean, reporting those samples as drops, not errors.
+func TestLoadCancelledRunIsNotFailure(t *testing.T) {
+	gate := make(chan struct{})
+	// Every build parks on the gate: at cancel time all in-flight requests
+	// are guaranteed to die by cancellation, never by completing.
+	ts := httptest.NewServer(serve.New(serve.Options{
+		Workers:       2,
+		Queue:         64,
+		OnPrefixBuild: func(string) { <-gate },
+	}).Handler())
+	t.Cleanup(ts.Close)
+	// Registered after ts.Close so it runs first (cleanups are LIFO):
+	// ts.Close waits for in-flight handlers, which are parked on the gate.
+	t.Cleanup(func() { close(gate) })
+
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	var out, errb bytes.Buffer
+	err := run(ctx, []string{
+		"-addr", ts.URL,
+		"-duration", "1h", // only the context ends this run
+		"-qps", "100",
+		"-mix", "tune=1",
+		"-bench", "c1355",
+	}, &out, &errb)
+	if err != nil {
+		t.Fatalf("cancelled run exited dirty: %v\nstderr: %s\nreport:\n%s", err, errb.String(), out.String())
+	}
+	if s := out.String(); !strings.Contains(s, "client drops") {
+		t.Errorf("report missing drop accounting:\n%s", s)
+	}
+}
+
+// TestLoadMultiTargetList: -addr with a comma list drives every target and
+// reports a per-replica row for each.
+func TestLoadMultiTargetList(t *testing.T) {
+	var urls []string
+	for i := 0; i < 2; i++ {
+		ts := httptest.NewServer(serve.New(serve.Options{}).Handler())
+		t.Cleanup(ts.Close)
+		urls = append(urls, ts.URL)
+	}
+	var out, errb bytes.Buffer
+	err := run(context.Background(), []string{
+		"-addr", strings.Join(urls, ","),
+		"-duration", "300ms", "-qps", "80",
+		"-mix", "tune=3,die=1", "-bench", "c1355", "-seed", "3",
+	}, &out, &errb)
+	if err != nil {
+		t.Fatalf("multi-target run: %v\n%s", err, out.String())
+	}
+	s := out.String()
+	for _, u := range urls {
+		if !strings.Contains(s, u) {
+			t.Errorf("per-replica report missing target %s:\n%s", u, s)
+		}
+	}
+	for _, col := range []string{"prefixBuilds", "shed%", "cacheHits"} {
+		if !strings.Contains(s, col) {
+			t.Errorf("per-replica report missing column %q:\n%s", col, s)
+		}
+	}
+}
+
+// TestLoadRouterCluster is the acceptance smoke: fbbload pointed at a
+// 2-replica routed cluster discovers the replicas behind the router,
+// completes a mixed run, and reports per-replica shed rates and prefix
+// builds. Consistent hashing shows up as locality: each benchmark's
+// prefix is built on exactly one replica, once.
+func TestLoadRouterCluster(t *testing.T) {
+	var urls []string
+	for i := 0; i < 2; i++ {
+		ts := httptest.NewServer(serve.New(serve.Options{}).Handler())
+		t.Cleanup(ts.Close)
+		urls = append(urls, ts.URL)
+	}
+	rt, err := serve.NewRouter(serve.RouterOptions{Replicas: urls})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	front := httptest.NewServer(rt.Handler())
+	t.Cleanup(front.Close)
+
+	var out, errb bytes.Buffer
+	err = run(context.Background(), []string{
+		"-addr", front.URL,
+		"-duration", "400ms", "-qps", "80",
+		"-mix", "tune=4,die=2,table1=1",
+		"-bench", "c1355,c3540", "-seed", "5",
+	}, &out, &errb)
+	if err != nil {
+		t.Fatalf("routed run: %v\nstderr: %s\nreport:\n%s", err, errb.String(), out.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "routed; router shed") {
+		t.Errorf("report does not identify the router:\n%s", s)
+	}
+	for _, u := range urls {
+		if !strings.Contains(s, u) {
+			t.Errorf("report missing discovered replica %s:\n%s", u, s)
+		}
+	}
+	// Locality, read the way an operator would — from each replica's
+	// /v1/stats: two distinct designs were replayed hard, and across the
+	// cluster each was built exactly once.
+	var totalBuilds int64
+	for _, u := range urls {
+		st, err := serve.NewClient(u).Stats(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		totalBuilds += st.Cache.Builds
+	}
+	if totalBuilds != 2 {
+		t.Errorf("cluster built %d prefixes for 2 designs; routing is not key-stable", totalBuilds)
+	}
+}
+
 func TestBadFlags(t *testing.T) {
 	for _, args := range [][]string{
 		{"-qps", "0"},

@@ -25,13 +25,15 @@ type PrefixCache struct {
 	capacity int
 	onBuild  func(key string)
 
-	mu        sync.Mutex
-	ll        *list.List // *centry, front = most recently used
-	entries   map[string]*list.Element
-	hits      int64
-	misses    int64
-	builds    int64
-	evictions int64
+	mu          sync.Mutex
+	ll          *list.List // *centry, front = most recently used
+	entries     map[string]*list.Element
+	hits        int64
+	misses      int64
+	joins       int64
+	failedJoins int64
+	builds      int64
+	evictions   int64
 }
 
 type centry struct {
@@ -47,10 +49,20 @@ type centry struct {
 
 // CacheStats is a point-in-time snapshot of cache behaviour.
 type CacheStats struct {
-	// Hits counts Gets served from a resident entry (including joins of an
-	// in-flight build); Misses counts Gets that started a build.
+	// Hits counts Gets that came away with a prefix without building one:
+	// served from a completed resident entry, or joined an in-flight build
+	// that then succeeded. Misses counts Gets that started a build.
 	Hits   int64 `json:"hits"`
 	Misses int64 `json:"misses"`
+	// Joins counts Gets that attached to an in-flight build (resolved
+	// later into Hits or FailedJoins); FailedJoins counts joins that came
+	// away without a prefix — the joined build failed, or the waiter's
+	// context expired first. Keeping them out of Hits matters exactly when
+	// a bad design is being hammered: N requests coalescing onto one
+	// failing build are N wasted waits, not N-1 cache hits, and the
+	// router's locality report reads Hits as real cache effectiveness.
+	Joins       int64 `json:"joins"`
+	FailedJoins int64 `json:"failedJoins"`
 	// Builds counts prefix constructions actually run (== Misses; kept
 	// separate so the coalescing conformance tests read intent, not
 	// accounting coincidence).
@@ -85,12 +97,33 @@ func (c *PrefixCache) Get(ctx context.Context, key string, build func() (*flow.P
 	if el, ok := c.entries[key]; ok {
 		c.ll.MoveToFront(el)
 		e := el.Value.(*centry)
-		c.hits++
+		if e.ready {
+			// Completed resident entry — failures are never retained, so
+			// this is always a real prefix: an unconditional hit.
+			c.hits++
+			c.mu.Unlock()
+			return e.pfx, e.err
+		}
+		// Joining an in-flight build: the outcome decides the accounting.
+		// Counting the join as a hit up front would book a success for
+		// every waiter piling onto a failing build.
+		c.joins++
 		c.mu.Unlock()
+		resolve := func(failed bool) {
+			c.mu.Lock()
+			if failed {
+				c.failedJoins++
+			} else {
+				c.hits++
+			}
+			c.mu.Unlock()
+		}
 		select {
 		case <-e.done:
+			resolve(e.err != nil)
 			return e.pfx, e.err
 		case <-ctx.Done():
+			resolve(true)
 			return nil, ctx.Err()
 		}
 	}
@@ -153,10 +186,12 @@ func (c *PrefixCache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return CacheStats{
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Builds:    c.builds,
-		Evictions: c.evictions,
-		Len:       c.ll.Len(),
+		Hits:        c.hits,
+		Misses:      c.misses,
+		Joins:       c.joins,
+		FailedJoins: c.failedJoins,
+		Builds:      c.builds,
+		Evictions:   c.evictions,
+		Len:         c.ll.Len(),
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"strings"
@@ -23,6 +24,28 @@ type Client struct {
 // NewClient returns a Client for the given base URL.
 func NewClient(baseURL string) *Client {
 	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+// NewClientWith returns a Client using the given http.Client (nil =
+// http.DefaultClient).
+func NewClientWith(baseURL string, hc *http.Client) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/"), HTTPClient: hc}
+}
+
+// maxDrainBytes bounds how much of an unread response body drainClose will
+// consume to hand the connection back to the keep-alive pool. Error bodies
+// are tiny; an abandoned NDJSON stream past this bound costs the
+// connection, not unbounded reading.
+const maxDrainBytes = 256 << 10
+
+// drainClose consumes the remainder of a response body (bounded) before
+// closing it. Closing an HTTP response body with bytes still unread kills
+// the underlying keep-alive connection; under a 503-heavy load run that
+// turns every shed response into a fresh dial. Draining first lets the
+// transport reuse the connection.
+func drainClose(body io.ReadCloser) {
+	_, _ = io.Copy(io.Discard, io.LimitReader(body, maxDrainBytes))
+	_ = body.Close()
 }
 
 // APIError is a non-2xx response decoded from the server's error body.
@@ -68,7 +91,7 @@ func (c *Client) post(ctx context.Context, path string, reqBody any) (*http.Resp
 		return nil, err
 	}
 	if resp.StatusCode/100 != 2 {
-		defer resp.Body.Close()
+		defer drainClose(resp.Body)
 		return nil, decodeAPIError(resp)
 	}
 	return resp, nil
@@ -93,7 +116,10 @@ func (c *Client) postJSON(ctx context.Context, path string, reqBody, out any) er
 	if err != nil {
 		return err
 	}
-	defer resp.Body.Close()
+	// Drain, don't just close: json.Decoder stops at the value's end and
+	// leaves the encoder's trailing newline unread, which would cost the
+	// keep-alive connection on every single request.
+	defer drainClose(resp.Body)
 	return json.NewDecoder(resp.Body).Decode(out)
 }
 
@@ -124,7 +150,10 @@ func (c *Client) Yield(ctx context.Context, req YieldRequest, onDie func(*DieRes
 	if err != nil {
 		return nil, err
 	}
-	defer resp.Body.Close()
+	// The footer return leaves at most trailing whitespace unread; an
+	// early error abandons the stream mid-flight. Either way, drain
+	// (bounded) so the connection survives for the next request.
+	defer drainClose(resp.Body)
 
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
@@ -179,11 +208,35 @@ func (c *Client) Stats(ctx context.Context) (*StatsResponse, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer resp.Body.Close()
+	defer drainClose(resp.Body)
 	if resp.StatusCode/100 != 2 {
 		return nil, decodeAPIError(resp)
 	}
 	var out StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// ClusterStats fetches /v1/stats and decodes it as a router's cluster
+// view. Against a plain fbbd the call succeeds with no replicas — the
+// presence of replicas is how callers (fbbload's multi-target mode)
+// distinguish a router from a single server.
+func (c *Client) ClusterStats(ctx context.Context) (*ClusterStatsResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/stats", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer drainClose(resp.Body)
+	if resp.StatusCode/100 != 2 {
+		return nil, decodeAPIError(resp)
+	}
+	var out ClusterStatsResponse
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 		return nil, err
 	}
@@ -200,7 +253,7 @@ func (c *Client) Benchmarks(ctx context.Context) ([]string, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer resp.Body.Close()
+	defer drainClose(resp.Body)
 	if resp.StatusCode/100 != 2 {
 		return nil, decodeAPIError(resp)
 	}

@@ -4,9 +4,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
 )
 
@@ -126,5 +128,98 @@ func TestYieldAdaptiveTargetCI(t *testing.T) {
 	req.TargetCI = 0.7
 	if _, err := c.Yield(context.Background(), req, nil); err == nil {
 		t.Error("out-of-range targetCI accepted")
+	}
+}
+
+// TestClientReusesConnections is the regression test for the
+// connection-churn bug: post, decodeAPIError and Yield used to close
+// response bodies with bytes still unread, which kills the keep-alive
+// connection — under a 503-heavy load run every shed response forced a
+// fresh dial (and with it a fresh ephemeral port, eventually exhausting
+// them). All sequential traffic — shed 503s, JSON responses with their
+// trailing newline, finished NDJSON streams — must ride one connection.
+func TestClientReusesConnections(t *testing.T) {
+	var dials atomic.Int64
+	mux := http.NewServeMux()
+	// Every handler flushes, forcing chunked transfer encoding — that is
+	// what the real server's streamed responses (and any front proxy that
+	// does not buffer) look like on the wire. A chunked body's EOF lives
+	// after the terminal chunk, so a json.Decoder or scanner that stopped
+	// at the value's end has NOT seen EOF, and a bare Close drops the
+	// connection. (With small Content-Length bodies the decoder's
+	// read-ahead hides the bug, which is exactly how it shipped.)
+	mux.HandleFunc("POST /v1/tune", func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, errSaturated) // 503 + Retry-After + JSON body
+		w.(http.Flusher).Flush()
+	})
+	// A long study: ~1000 die lines (~130 KB) before the footer. A client
+	// that stops consuming mid-stream leaves most of it unread — the case
+	// a bare Close always turns into a dead connection.
+	mux.HandleFunc("POST /v1/yield", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		for i := 0; i < 1000; i++ {
+			fmt.Fprintf(w, `{"die":%d,"seed":1,"betaActual":0,"betaSensed":0,"met":true,"iters":0,"dcritBeforePS":1,"dcritAfterPS":1,"leakBeforeNW":1,"leakAfterNW":1}`+"\n", i)
+		}
+		w.(http.Flusher).Flush()
+		fmt.Fprintln(w, `{"stats":{"dies":1000,"metBefore":1000,"metAfter":1000,"yieldBeforePct":100,"yieldAfterPct":100,"meanBetaPct":1,"worstBetaPct":1,"meanLeakBeforeNW":1,"meanLeakAfterNW":1,"meanLeakTunedOnlyNW":0,"tunedDies":0,"failedCompensations":0,"meanTuneIters":0,"meanClustersPerTuned":0}}`)
+		w.(http.Flusher).Flush()
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, StatsResponse{})
+		w.(http.Flusher).Flush()
+	})
+	mux.HandleFunc("POST /v1/table1", func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, badRequest("no")) // 400 with an unread JSON body
+		w.(http.Flusher).Flush()
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+
+	tr := &http.Transport{
+		DialContext: func(ctx context.Context, network, addr string) (net.Conn, error) {
+			dials.Add(1)
+			var d net.Dialer
+			return d.DialContext(ctx, network, addr)
+		},
+	}
+	t.Cleanup(tr.CloseIdleConnections)
+	c := NewClientWith(ts.URL, &http.Client{Transport: tr})
+
+	ctx := context.Background()
+	for i := 0; i < 5; i++ { // the 503-heavy path: decodeAPIError must drain
+		var apiErr *APIError
+		if _, err := c.Tune(ctx, TuneRequest{}); !errors.As(err, &apiErr) || !apiErr.IsRetryable() {
+			t.Fatalf("tune %d: %v", i, err)
+		}
+	}
+	for i := 0; i < 3; i++ { // non-503 errors too
+		if _, err := c.Table1(ctx, Table1Request{}); err == nil {
+			t.Fatalf("table1 %d unexpectedly succeeded", i)
+		}
+	}
+	for i := 0; i < 3; i++ { // finished NDJSON streams leave a trailing newline
+		if _, err := c.Yield(ctx, YieldRequest{}, nil); err != nil {
+			t.Fatalf("yield %d: %v", i, err)
+		}
+	}
+	errStop := errors.New("enough")
+	for i := 0; i < 3; i++ { // a consumer stopping mid-stream abandons ~130KB
+		_, err := c.Yield(ctx, YieldRequest{}, func(d *DieResult) error {
+			if d.Die >= 1 {
+				return errStop
+			}
+			return nil
+		})
+		if !errors.Is(err, errStop) {
+			t.Fatalf("aborted yield %d: %v", i, err)
+		}
+	}
+	for i := 0; i < 3; i++ { // plain JSON GETs leave the encoder's newline
+		if _, err := c.Stats(ctx); err != nil {
+			t.Fatalf("stats %d: %v", i, err)
+		}
+	}
+	if got := dials.Load(); got != 1 {
+		t.Errorf("14 sequential requests dialed %d times, want 1: undrained bodies are killing keep-alive connections", got)
 	}
 }

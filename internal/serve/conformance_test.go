@@ -54,7 +54,7 @@ func TestConcurrentIdenticalRequestsBuildPrefixOnce(t *testing.T) {
 	}
 	// The winner is parked in the gate; wait until the other n-1 have
 	// joined its in-flight entry, then release.
-	waitFor(t, 10*time.Second, func() bool { return s.cache.Stats().Hits >= n-1 },
+	waitFor(t, 10*time.Second, func() bool { return s.cache.Stats().Joins >= n-1 },
 		"not all %d requests joined the in-flight build", n-1)
 	close(gate)
 	wg.Wait()

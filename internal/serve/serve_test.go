@@ -42,7 +42,7 @@ func TestPrefixCacheCoalescesConcurrentBuilds(t *testing.T) {
 	}
 	// Wait until the loser goroutines have joined the in-flight entry,
 	// then let the winner finish.
-	waitFor(t, 5*time.Second, func() bool { return c.Stats().Hits >= n-1 },
+	waitFor(t, 5*time.Second, func() bool { return c.Stats().Joins >= n-1 },
 		"not all loser goroutines joined the in-flight entry")
 	close(gate)
 	wg.Wait()
@@ -161,6 +161,89 @@ func TestPrefixCacheWaiterHonoursContext(t *testing.T) {
 		t.Fatalf("cancelled waiter got %v", err)
 	}
 	close(gate)
+}
+
+// TestPrefixCacheFailedJoinAccounting is the regression test for the
+// stats misaccounting bug: a Get that joined an in-flight build used to be
+// booked as a hit at join time, even when that build then failed — a bad
+// design being hammered reported a near-perfect hit rate while serving
+// nothing but errors. Joins must resolve into Hits only on success;
+// failed builds and expired waiter contexts are FailedJoins.
+func TestPrefixCacheFailedJoinAccounting(t *testing.T) {
+	c := NewPrefixCache(4, nil)
+	boom := errors.New("boom")
+
+	// Two joiners attach to a build that fails.
+	gate := make(chan struct{})
+	results := make(chan error, 3)
+	go func() {
+		_, err := c.Get(context.Background(), "bad", func() (*flow.Prefix, error) {
+			<-gate
+			return nil, boom
+		})
+		results <- err
+	}()
+	waitFor(t, 5*time.Second, func() bool { return c.Stats().Misses == 1 },
+		"winner never started its build")
+	for i := 0; i < 2; i++ {
+		go func() {
+			_, err := c.Get(context.Background(), "bad", nil)
+			results <- err
+		}()
+	}
+	waitFor(t, 5*time.Second, func() bool { return c.Stats().Joins == 2 },
+		"joiners never attached")
+	close(gate)
+	for i := 0; i < 3; i++ {
+		if err := <-results; !errors.Is(err, boom) {
+			t.Fatalf("got %v, want boom", err)
+		}
+	}
+	st := c.Stats()
+	if st.Hits != 0 || st.FailedJoins != 2 {
+		t.Fatalf("joins on a failed build booked as hits: %+v", st)
+	}
+
+	// A waiter whose context expires is a failed join even though the
+	// build goes on to succeed for everyone else; a waiter that sees the
+	// success is a hit.
+	gate2 := make(chan struct{})
+	done := make(chan error, 2)
+	go func() {
+		_, err := c.Get(context.Background(), "good", func() (*flow.Prefix, error) {
+			<-gate2
+			return &flow.Prefix{}, nil
+		})
+		done <- err
+	}()
+	waitFor(t, 5*time.Second, func() bool { return c.Stats().Misses == 2 },
+		"second winner never started")
+	ctx, cancel := context.WithCancel(context.Background())
+	expired := make(chan error, 1)
+	go func() {
+		_, err := c.Get(ctx, "good", nil)
+		expired <- err
+	}()
+	go func() {
+		_, err := c.Get(context.Background(), "good", nil)
+		done <- err
+	}()
+	waitFor(t, 5*time.Second, func() bool { return c.Stats().Joins == 4 },
+		"waiters never attached to the second build")
+	cancel()
+	if err := <-expired; !errors.Is(err, context.Canceled) {
+		t.Fatalf("expired waiter got %v", err)
+	}
+	close(gate2)
+	for i := 0; i < 2; i++ {
+		if err := <-done; err != nil {
+			t.Fatalf("successful build surfaced %v", err)
+		}
+	}
+	st = c.Stats()
+	if st.Joins != 4 || st.FailedJoins != 3 || st.Hits != 1 {
+		t.Fatalf("join accounting off: %+v (want joins=4 failedJoins=3 hits=1)", st)
+	}
 }
 
 // --- DesignKey ---
@@ -310,6 +393,63 @@ func TestDrainRejectsNewAndFinishesInFlight(t *testing.T) {
 	defer cancel()
 	if err := s.Drain(ctx); err != nil {
 		t.Fatalf("Drain after completion: %v", err)
+	}
+}
+
+// TestDrainVsQueuedRequests pins the drain/queue race: requests parked in
+// the admission queue when BeginDrain lands must each get exactly one
+// response — success if they were already admitted, a clean 503 otherwise;
+// never a hang, never a second answer — and Drain must return afterwards
+// (no WaitGroup leak from queued requests). CI runs this under -race.
+func TestDrainVsQueuedRequests(t *testing.T) {
+	s, c, gate := blockingServer(t, Options{Workers: 1, Queue: 8, CacheSize: 16})
+	const queued = 6
+	results := make(chan error, queued+1)
+	issue := func(n int) {
+		_, err := c.Tune(context.Background(), TuneRequest{DesignRef: DesignRef{Netlist: chainBench(8 + n)}})
+		results <- err
+	}
+	// One request holds the single worker; `queued` more park in the queue.
+	go issue(0)
+	waitFor(t, 5*time.Second, func() bool { return s.inFlight.Load() > 0 },
+		"first request never admitted")
+	for i := 1; i <= queued; i++ {
+		go issue(i)
+	}
+	waitFor(t, 5*time.Second, func() bool { return len(s.queueSem) == queued },
+		"requests never queued")
+
+	// Drain begins while the queue is full; the worker frees concurrently.
+	go s.BeginDrain()
+	close(gate)
+
+	okN, shedN := 0, 0
+	for i := 0; i < queued+1; i++ {
+		var apiErr *APIError
+		switch err := <-results; {
+		case err == nil:
+			okN++
+		case errors.As(err, &apiErr) && apiErr.StatusCode == http.StatusServiceUnavailable:
+			shedN++
+		default:
+			t.Fatalf("queued request surfaced a non-503 failure: %v", err)
+		}
+	}
+	if okN == 0 {
+		t.Error("every request shed; the admitted one should have completed")
+	}
+	t.Logf("drain race: %d completed, %d shed", okN, shedN)
+
+	if !s.Draining() {
+		t.Error("server not draining after BeginDrain")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("Drain never returned after the queue emptied: %v", err)
+	}
+	if n := len(s.queueSem); n != 0 {
+		t.Errorf("%d requests still queued after Drain", n)
 	}
 }
 
