@@ -15,7 +15,7 @@
 //
 //	fbbd [-addr :8080] [-cache 8] [-workers 0] [-queue 0]
 //	     [-max-dies 1000000] [-max-gates 100000] [-drain-timeout 30s]
-//	     [-drain-notice 0s]
+//	     [-drain-notice 0s] [-retry-after 1]
 //
 // Behind fbbrouter, set -drain-notice to at least the router's
 // -health-interval: on SIGTERM the daemon then keeps its listener (and
@@ -63,6 +63,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		maxGates     = fs.Int("max-gates", 100_000, "largest accepted design")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "shutdown budget for in-flight requests")
 		drainNotice  = fs.Duration("drain-notice", 0, "keep serving (503 + draining /healthz) this long before closing the listener, so a router can re-hash this replica's keys; set it >= the router's -health-interval")
+		retryAfter   = fs.Int("retry-after", 1, "Retry-After seconds advertised on shed 503s (well-behaved clients back off at least this long)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -72,11 +73,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	}
 
 	s := serve.New(serve.Options{
-		CacheSize: *cacheSize,
-		Workers:   *workers,
-		Queue:     *queue,
-		MaxDies:   *maxDies,
-		MaxGates:  *maxGates,
+		CacheSize:     *cacheSize,
+		Workers:       *workers,
+		Queue:         *queue,
+		MaxDies:       *maxDies,
+		MaxGates:      *maxGates,
+		RetryAfterSec: *retryAfter,
 	})
 	httpSrv := &http.Server{
 		Handler:           s.Handler(),

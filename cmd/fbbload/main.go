@@ -25,7 +25,13 @@
 //	        [-duration 10s] [-qps 50]
 //	        [-mix tune=6,die=2,yield=1,table1=1] [-bench c1355,c3540]
 //	        [-beta 0.05] [-c 3] [-solver heuristic] [-dies 100]
-//	        [-concurrency 64] [-seed 1]
+//	        [-concurrency 64] [-seed 1] [-retry 0]
+//
+// With -retry N > 0 every request runs under the client's RetryPolicy: up
+// to N attempts with capped, seeded-jitter backoff, honoring the server's
+// Retry-After as a floor instead of hammering a saturated cluster. The
+// headline then reports the retry count and the attempts-per-request
+// amplification, which stays ≤ N by construction.
 package main
 
 import (
@@ -35,6 +41,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"net/http"
 	"os"
 	"sort"
 	"strconv"
@@ -81,6 +88,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		solver      = fs.String("solver", "heuristic", "allocation engine")
 		dies        = fs.Int("dies", 100, "dies per yield request")
 		seed        = fs.Int64("seed", 1, "replay seed")
+		retry       = fs.Int("retry", 0, "max attempts per request (0 = no retries): retryable failures back off with seeded jitter, honoring the server's Retry-After")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -107,9 +115,17 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 
+	if *retry < 0 {
+		return fmt.Errorf("-retry must be >= 0")
+	}
 	clients := make([]*serve.Client, len(targets))
 	for i, tgt := range targets {
 		clients[i] = serve.NewClient(tgt)
+		if *retry > 0 {
+			// Distinct seeds per target client decorrelate the backoff
+			// jitter; the replay seed keeps the whole run deterministic.
+			clients[i].Retry = &serve.RetryPolicy{MaxAttempts: *retry, Seed: *seed + int64(i)}
+		}
 	}
 
 	// Cluster view: replicas to report on, and their stats before the run.
@@ -177,7 +193,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 			s := sample{endpoint: ep, latency: time.Since(t0)}
 			var apiErr *serve.APIError
 			switch {
-			case errors.As(err, &apiErr) && apiErr.IsRetryable():
+			// Shed means 503 specifically — deliberate backpressure.
+			// IsRetryable() is wider (spurious 5xx are worth a retry) but a
+			// surfaced 500 is a server failure and must fail the run.
+			case errors.As(err, &apiErr) && apiErr.StatusCode == http.StatusServiceUnavailable:
 				s.shed = true
 			case err != nil && (errors.Is(err, context.Canceled) || ctx.Err() != nil):
 				// The run was cancelled under this request: whatever state
@@ -192,7 +211,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	printReport(stdout, samples, elapsed, dispatched, clientDrops)
+	var retries int64
+	for _, cl := range clients {
+		retries += cl.Retries()
+	}
+	printReport(stdout, samples, elapsed, dispatched, clientDrops, retries, *retry > 0)
 	printReplicaReport(stdout, replicas, before, snapshotStats(ctx, replicas), routerStats)
 	failed := 0
 	for _, s := range samples {
@@ -384,8 +407,10 @@ func (m *weightedMix) pick(rng *rand.Rand) string {
 	return m.names[len(m.names)-1]
 }
 
-// printReport renders the per-endpoint latency table.
-func printReport(w io.Writer, samples []sample, elapsed time.Duration, dispatched, clientDrops int) {
+// printReport renders the per-endpoint latency table. retries and retryMode
+// report the -retry amplification: how many extra attempts the retry layer
+// issued on top of the dispatched requests.
+func printReport(w io.Writer, samples []sample, elapsed time.Duration, dispatched, clientDrops int, retries int64, retryMode bool) {
 	byEP := map[string][]sample{}
 	canceled := 0
 	for _, s := range samples {
@@ -403,10 +428,20 @@ func printReport(w io.Writer, samples []sample, elapsed time.Duration, dispatche
 	// pacer actually sent, completed counts samples that came back. Mixing
 	// them (dispatched count beside a completed-samples rate) would let a
 	// shedding or drop-heavy run read as a merely slow one.
-	t := report.New(
-		fmt.Sprintf("fbbload — %d dispatched, %d completed in %s (%.1f req/s dispatched, %.1f req/s completed, %d client drops)",
-			dispatched, completed, elapsed.Round(time.Millisecond),
-			float64(dispatched)/elapsed.Seconds(), float64(completed)/elapsed.Seconds(), clientDrops+canceled),
+	head := fmt.Sprintf("fbbload — %d dispatched, %d completed in %s (%.1f req/s dispatched, %.1f req/s completed, %d client drops)",
+		dispatched, completed, elapsed.Round(time.Millisecond),
+		float64(dispatched)/elapsed.Seconds(), float64(completed)/elapsed.Seconds(), clientDrops+canceled)
+	if retryMode {
+		// Amplification names the real cost of self-healing: total attempts
+		// issued per request dispatched. Bounded by -retry per request, so
+		// the fleet-wide attempt rate is at most -retry times -qps.
+		amp := 1.0
+		if dispatched > 0 {
+			amp = 1 + float64(retries)/float64(dispatched)
+		}
+		head += fmt.Sprintf(", %d retries (%.2fx attempts/req)", retries, amp)
+	}
+	t := report.New(head,
 		"endpoint", "count", "ok", "shed", "errors", "p50", "p90", "p99", "max")
 	for _, ep := range endpoints {
 		ss := byEP[ep]

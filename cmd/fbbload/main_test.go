@@ -5,6 +5,8 @@ import (
 	"context"
 	"io"
 	"net/http/httptest"
+	"regexp"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -51,7 +53,7 @@ func TestReportSeparatesDenominators(t *testing.T) {
 		{endpoint: "tune", latency: 20 * time.Millisecond, shed: true},
 	}
 	var out bytes.Buffer
-	printReport(&out, samples, 2*time.Second, 10, 3)
+	printReport(&out, samples, 2*time.Second, 10, 3, 0, false)
 	head := out.String()
 	for _, want := range []string{
 		"10 dispatched", "2 completed",
@@ -71,6 +73,36 @@ func TestLoadShedIsNotFailure(t *testing.T) {
 		"-mix", "yield=1,tune=4", "-dies", "400", "-qps", "200", "-concurrency", "16")
 	if err != nil {
 		t.Fatalf("shed traffic failed the run: %v\n%s", err, out)
+	}
+}
+
+// TestLoadRetryShedStormStaysWithinBudget: against a deliberately
+// saturated server, -retry N must (a) actually retry shed requests, (b)
+// report the amplification in the headline, and (c) keep attempts-per-
+// request within the -retry budget — a retrying load generator must never
+// multiply a shed storm beyond its configured bound.
+func TestLoadRetryShedStormStaysWithinBudget(t *testing.T) {
+	// One worker, no queue, and a prefix build that outlasts the whole run:
+	// the first request holds the only slot, every later one is shed — a
+	// guaranteed storm regardless of machine speed.
+	out, err := loadAgainst(t, serve.Options{
+		Workers: 1, Queue: -1, RetryAfterSec: 1,
+		OnPrefixBuild: func(string) { time.Sleep(400 * time.Millisecond) },
+	}, "-mix", "tune=1", "-qps", "200", "-concurrency", "16", "-retry", "2")
+	if err != nil {
+		t.Fatalf("shed storm with -retry failed the run: %v\n%s", err, out)
+	}
+	m := regexp.MustCompile(`(\d+) retries \((\d+\.\d+)x attempts/req\)`).FindStringSubmatch(out)
+	if m == nil {
+		t.Fatalf("headline missing retry amplification:\n%s", out)
+	}
+	retries, _ := strconv.Atoi(m[1])
+	amp, _ := strconv.ParseFloat(m[2], 64)
+	if retries == 0 {
+		t.Errorf("shed storm under -retry 2 recorded no retries:\n%s", out)
+	}
+	if amp > 2.0 {
+		t.Errorf("amplification %.2fx exceeds the -retry 2 budget:\n%s", amp, out)
 	}
 }
 

@@ -17,7 +17,7 @@
 //
 //	fbbrouter -replicas http://10.0.0.1:8080,http://10.0.0.2:8080
 //	          [-addr :8090] [-health-interval 500ms] [-spill 1]
-//	          [-vnodes 64]
+//	          [-vnodes 64] [-forward-timeout 0s] [-breaker 3]
 package main
 
 import (
@@ -58,6 +58,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		healthInterval = fs.Duration("health-interval", 500*time.Millisecond, "replica /healthz polling period")
 		spill          = fs.Int("spill", 1, "failover bound: extra replicas tried after the owner sheds (0 = none)")
 		vnodes         = fs.Int("vnodes", 64, "virtual nodes per replica on the hash ring")
+		forwardTimeout = fs.Duration("forward-timeout", 0, "per-forward budget for a replica to start responding (0 = unbounded; response bodies stream without limit)")
+		breaker        = fs.Int("breaker", 3, "consecutive forward failures that trip a replica out of the ring to immediate re-probe")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -82,10 +84,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	}
 
 	rt, err := serve.NewRouter(serve.RouterOptions{
-		Replicas:       addrs,
-		HealthInterval: *healthInterval,
-		Spill:          sp,
-		VirtualNodes:   *vnodes,
+		Replicas:         addrs,
+		HealthInterval:   *healthInterval,
+		Spill:            sp,
+		VirtualNodes:     *vnodes,
+		ForwardTimeout:   *forwardTimeout,
+		BreakerThreshold: *breaker,
 	})
 	if err != nil {
 		return err

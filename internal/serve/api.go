@@ -148,6 +148,32 @@ type YieldRequest struct {
 	// footer's dies field reports how many dies actually ran. Dies then
 	// acts as the sample-size cap. Default 0: exactly Dies dies run.
 	TargetCI float64 `json:"targetCI,omitempty"`
+	// Checkpoint, when positive, interleaves a YieldCheckpoint line into
+	// the stream after every Checkpoint-th die (at absolute die counts
+	// divisible by it, never at the very end). The line carries the raw
+	// accumulator state a later request can resume from. Default 0: no
+	// checkpoint lines — the stream bytes are identical to earlier
+	// protocol versions.
+	Checkpoint int `json:"checkpoint,omitempty"`
+	// Resume restarts a broken stream: the server begins at die
+	// Resume.Ckpt, folding new dies into Resume.Acc. Because per-die seeds
+	// are absolute (variation.DieSeed) and the accumulator round-trips
+	// float64s exactly, the emitted suffix — remaining die lines,
+	// remaining checkpoints, footer — is byte-identical to the tail of an
+	// unbroken run with the same parameters.
+	Resume *YieldCheckpoint `json:"resume,omitempty"`
+}
+
+// YieldCheckpoint is both a mid-stream NDJSON checkpoint line and the resume
+// token of a later request: the accumulator state covering dies [0, Ckpt).
+// Clients discriminate it from die lines by its "ckpt" marker key, exactly
+// as the footer is discriminated by "stats".
+type YieldCheckpoint struct {
+	// Ckpt is the number of dies covered (== Acc.Dies); the resumed stream
+	// starts at this die index.
+	Ckpt int `json:"ckpt"`
+	// Acc is the raw accumulator state.
+	Acc variation.YieldAccum `json:"acc"`
 }
 
 // DieResult is one die's tuning outcome: a /v1/tune die-mode response body
@@ -267,6 +293,8 @@ func badRequest(format string, args ...any) *apiError {
 	return &apiError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
 }
 
+// errSaturated / errDraining are the default shed responses; a Server with a
+// configured RetryAfterSec builds its own via shedError.
 var (
 	errSaturated = &apiError{status: http.StatusServiceUnavailable, msg: "server saturated", retryAfter: 1}
 	errDraining  = &apiError{status: http.StatusServiceUnavailable, msg: "server draining", retryAfter: 1}
@@ -364,6 +392,17 @@ func (q *YieldRequest) validate(maxDies int) *apiError {
 	}
 	if q.TargetCI < 0 || q.TargetCI > 0.5 {
 		return badRequest("targetCI %g out of range [0, 0.5]", q.TargetCI)
+	}
+	if q.Checkpoint < 0 {
+		return badRequest("checkpoint %d must be non-negative", q.Checkpoint)
+	}
+	if q.Resume != nil {
+		if q.Resume.Ckpt < 1 || q.Resume.Ckpt > q.Dies {
+			return badRequest("resume.ckpt %d out of range [1, %d]", q.Resume.Ckpt, q.Dies)
+		}
+		if q.Resume.Acc.Dies != q.Resume.Ckpt {
+			return badRequest("resume.acc covers %d dies, resume.ckpt is %d", q.Resume.Acc.Dies, q.Resume.Ckpt)
+		}
 	}
 	return nil
 }

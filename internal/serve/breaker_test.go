@@ -1,0 +1,153 @@
+package serve
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeReplica serves a healthy /healthz plus the given scripted handlers,
+// so router tests can stage transport behavior (aborts, stalls, slow
+// streams) that a real fbbd never exhibits. Returns the base URL.
+func fakeReplica(t *testing.T, handlers map[string]http.HandlerFunc) string {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, `{"status":"ok","draining":false}`+"\n")
+	})
+	for pat, h := range handlers {
+		mux.HandleFunc(pat, h)
+	}
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts.URL
+}
+
+// TestRouterBreakerTripsAfterConsecutiveFailures: a replica whose /healthz
+// is fine but whose forwards die at the transport level trips the breaker
+// on exactly the BreakerThreshold'th consecutive failure — not before —
+// and the count restarts after each trip. The poked probe (healthz is
+// healthy) lets the replica rejoin, so the breaker alone drives the trips.
+func TestRouterBreakerTripsAfterConsecutiveFailures(t *testing.T) {
+	leakCheck(t)
+	url := fakeReplica(t, map[string]http.HandlerFunc{
+		"POST /v1/tune": func(http.ResponseWriter, *http.Request) {
+			panic(http.ErrAbortHandler) // kill the connection mid-exchange
+		},
+	})
+	rt, c := newTestRouter(t, []string{url}, RouterOptions{Spill: -1, BreakerThreshold: 3})
+	rep := rt.ring.replicas[0]
+
+	body := string(encodeJSON(t, TuneRequest{DesignRef: DesignRef{Benchmark: "c1355"}, Beta: 0.05}))
+	tune := func() int {
+		status, _ := postRaw(t, c, "/v1/tune", body)
+		return status
+	}
+	for i := 1; i <= 2; i++ {
+		if status := tune(); status != http.StatusServiceUnavailable {
+			t.Fatalf("request %d: status %d, want 503", i, status)
+		}
+	}
+	if got := rep.trips.Load(); got != 0 {
+		t.Fatalf("breaker tripped after 2 failures (trips=%d), threshold is 3", got)
+	}
+	if status := tune(); status != http.StatusServiceUnavailable {
+		t.Fatalf("request 3: status %d, want 503", status)
+	}
+	if got := rep.trips.Load(); got != 1 {
+		t.Fatalf("trips after 3 consecutive failures = %d, want 1", got)
+	}
+	// The trip poked an immediate re-probe; healthz still answers, so the
+	// replica rejoins without waiting out the (1h) health interval.
+	waitFor(t, 5*time.Second, func() bool { return rep.inRing() },
+		"tripped replica never rejoined after a healthy probe")
+
+	// The count restarted at the trip: three more failures, one more trip.
+	for i := 4; i <= 6; i++ {
+		tune()
+		// The trip's async probe races the next forward; settle the view so
+		// every failure lands on an in-ring replica and is counted.
+		waitFor(t, 5*time.Second, func() bool { return rep.inRing() },
+			"replica out of ring between requests")
+	}
+	if got := rep.trips.Load(); got != 2 {
+		t.Fatalf("trips after 6 consecutive failures = %d, want 2", got)
+	}
+
+	stats, err := c.ClusterStats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Replicas) != 1 || stats.Replicas[0].Trips != 2 {
+		t.Fatalf("cluster stats replicas %+v, want one with trips=2", stats.Replicas)
+	}
+}
+
+// TestRouterForwardTimeoutBoundsHeaders: a replica that accepts the
+// connection but never starts responding is cut off at ForwardTimeout, the
+// stall counts as a breaker failure, and the client gets the router's 503
+// instead of hanging.
+func TestRouterForwardTimeoutBoundsHeaders(t *testing.T) {
+	leakCheck(t)
+	url := fakeReplica(t, map[string]http.HandlerFunc{
+		"POST /v1/tune": func(w http.ResponseWriter, r *http.Request) {
+			// Consume the body so the server's client-abort watcher arms and
+			// the router's cancel unblocks the select below.
+			io.Copy(io.Discard, r.Body)
+			select {
+			case <-r.Context().Done(): // router gave up; unwind
+			case <-time.After(30 * time.Second):
+			}
+		},
+	})
+	rt, c := newTestRouter(t, []string{url}, RouterOptions{
+		Spill: -1, BreakerThreshold: 1, ForwardTimeout: 100 * time.Millisecond,
+	})
+
+	start := time.Now()
+	status, _ := postRaw(t, c, "/v1/tune", string(encodeJSON(t, TuneRequest{DesignRef: DesignRef{Benchmark: "c1355"}, Beta: 0.05})))
+	elapsed := time.Since(start)
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("stalled replica: status %d, want 503", status)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("router took %v to give up on a stalled forward (timeout 100ms)", elapsed)
+	}
+	if got := rt.ring.replicas[0].trips.Load(); got != 1 {
+		t.Fatalf("forward timeout did not feed the breaker: trips=%d, want 1", got)
+	}
+}
+
+// TestRouterForwardTimeoutSparesSlowStreams: ForwardTimeout bounds only the
+// wait for response headers. A stream that answers immediately and then
+// pauses mid-body far longer than the timeout relays to completion.
+func TestRouterForwardTimeoutSparesSlowStreams(t *testing.T) {
+	leakCheck(t)
+	const line1, line2 = `{"die":0}` + "\n", `{"stats":{}}` + "\n"
+	url := fakeReplica(t, map[string]http.HandlerFunc{
+		"POST /v1/yield": func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			w.WriteHeader(http.StatusOK)
+			io.WriteString(w, line1)
+			http.NewResponseController(w).Flush()
+			time.Sleep(300 * time.Millisecond) // 6x the forward timeout
+			io.WriteString(w, line2)
+		},
+	})
+	_, c := newTestRouter(t, []string{url}, RouterOptions{
+		Spill: -1, ForwardTimeout: 50 * time.Millisecond,
+	})
+
+	status, body := postRaw(t, c, "/v1/yield", string(encodeJSON(t, YieldRequest{DesignRef: DesignRef{Benchmark: "c1355"}, Dies: 1})))
+	if status != http.StatusOK {
+		t.Fatalf("slow stream: status %d, body %s", status, body)
+	}
+	if got := string(body); !strings.HasSuffix(got, line2) || !strings.HasPrefix(got, line1) {
+		t.Fatalf("slow stream truncated by the forward timeout: %q", got)
+	}
+}

@@ -1,0 +1,229 @@
+// Package fault is a deterministic, seeded fault-injection layer for the
+// fbbd serving stack. It produces the messy failures real multi-user traffic
+// sees — refused connections, mid-body resets, NDJSON truncation, latency
+// spikes, slow writes, spurious 500s — from a splitmix64-derived schedule
+// that is a pure function of (seed, request slot), so any chaos run replays
+// bit-identically from its seed.
+//
+// Two injection points compose over the same Schedule:
+//
+//   - Transport wraps an http.RoundTripper and injects protocol-precise
+//     faults (a reset after exactly N body bytes, a synthetic 500 before the
+//     request ever leaves the client).
+//   - Proxy is an in-process TCP relay that injects faults at the socket
+//     level (refused accepts, connections cut mid-relay, throttled copies),
+//     below everything the HTTP layer can see.
+//
+// The package deliberately lives outside the kernel packages: it may sleep
+// and touch real sockets. Determinism here means the *schedule* — which slot
+// gets which fault, with which parameters — not wall-clock timing; tests
+// that need replayable timing inject the sleep function too.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Action is the fault injected into one request slot.
+type Action int
+
+const (
+	// None passes the request through untouched (possibly delayed, when
+	// the slot also drew latency).
+	None Action = iota
+	// Refuse fails the request before it is sent, as a refused connection.
+	Refuse
+	// HTTP500 short-circuits the request with a synthetic 500 response;
+	// the request never reaches the server.
+	HTTP500
+	// Reset performs the real exchange but cuts the response body with a
+	// connection-reset error after CutAfter bytes.
+	Reset
+	// Truncate performs the real exchange but ends the response body with
+	// a clean EOF after CutAfter bytes — for NDJSON responses the cut
+	// lands mid-line, the silent truncation a dropped peer produces.
+	Truncate
+	// Slow performs the real exchange but throttles the response body
+	// (a pause every few bytes), the slow-writer pathology.
+	Slow
+)
+
+// String names the action for fault logs and schedule goldens.
+func (a Action) String() string {
+	switch a {
+	case None:
+		return "none"
+	case Refuse:
+		return "refuse"
+	case HTTP500:
+		return "http500"
+	case Reset:
+		return "reset"
+	case Truncate:
+		return "truncate"
+	case Slow:
+		return "slow"
+	}
+	return fmt.Sprintf("action(%d)", int(a))
+}
+
+// Spec sets the fault mix. Weights are per-mille of request slots; the
+// remainder passes through clean. Latency composes with any action (it is an
+// independent draw), so a slot can be both delayed and reset.
+type Spec struct {
+	// RefusePM / HTTP500PM / ResetPM / TruncatePM / SlowPM weight the
+	// actions, in thousandths. Their sum must not exceed 1000.
+	RefusePM   int
+	HTTP500PM  int
+	ResetPM    int
+	TruncatePM int
+	SlowPM     int
+	// LatencyPM is the independent per-mille chance of a pre-response
+	// delay; MaxLatency bounds it (delays are uniform in (0, MaxLatency],
+	// quantized to milliseconds). Zero MaxLatency disables latency even
+	// when LatencyPM is set.
+	LatencyPM  int
+	MaxLatency time.Duration
+	// CutAfterMin / CutAfterMax bound the response-body bytes relayed
+	// before a Reset or Truncate cut (inclusive). CutAfterMax defaults to
+	// CutAfterMin when smaller.
+	CutAfterMin int
+	CutAfterMax int
+	// SlowChunk / SlowPause shape Slow: a pause of SlowPause after every
+	// SlowChunk body bytes. SlowChunk defaults to 64.
+	SlowChunk int
+	SlowPause time.Duration
+}
+
+func (s *Spec) validate() error {
+	for _, pm := range []int{s.RefusePM, s.HTTP500PM, s.ResetPM, s.TruncatePM, s.SlowPM, s.LatencyPM} {
+		if pm < 0 || pm > 1000 {
+			return fmt.Errorf("fault: weight %d out of range [0, 1000]", pm)
+		}
+	}
+	if sum := s.RefusePM + s.HTTP500PM + s.ResetPM + s.TruncatePM + s.SlowPM; sum > 1000 {
+		return fmt.Errorf("fault: action weights sum to %d > 1000", sum)
+	}
+	if s.CutAfterMin < 0 {
+		return errors.New("fault: CutAfterMin must be non-negative")
+	}
+	return nil
+}
+
+// Decision is the fully resolved fault for one slot: a pure function of the
+// schedule's (seed, spec) and the slot index.
+type Decision struct {
+	Slot     uint64
+	Action   Action
+	Latency  time.Duration
+	CutAfter int
+}
+
+// String renders the decision compactly for fault logs and replay goldens.
+func (d Decision) String() string {
+	s := fmt.Sprintf("#%d %s", d.Slot, d.Action)
+	if d.Action == Reset || d.Action == Truncate {
+		s += fmt.Sprintf(" cut=%d", d.CutAfter)
+	}
+	if d.Latency > 0 {
+		s += fmt.Sprintf(" lat=%s", d.Latency)
+	}
+	return s
+}
+
+// Schedule derives per-slot fault decisions from a seed. Decide is pure;
+// Next hands out consecutive slots to concurrent callers. Two schedules with
+// the same seed and spec produce identical decision sequences — the replay
+// contract of every chaos run.
+type Schedule struct {
+	seed uint64
+	spec Spec
+	next atomic.Uint64
+}
+
+// NewSchedule validates the spec and builds the schedule.
+func NewSchedule(seed int64, spec Spec) (*Schedule, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	if spec.SlowChunk <= 0 {
+		spec.SlowChunk = 64
+	}
+	if spec.CutAfterMax < spec.CutAfterMin {
+		spec.CutAfterMax = spec.CutAfterMin
+	}
+	return &Schedule{seed: uint64(seed), spec: spec}, nil
+}
+
+// Spec returns the schedule's (normalized) fault mix.
+func (s *Schedule) Spec() Spec { return s.spec }
+
+// Seed returns the schedule's seed, for replay logs.
+func (s *Schedule) Seed() int64 { return int64(s.seed) }
+
+// splitmix64 gamma and finalizer constants (Steele et al.), the same mixer
+// the rest of the repo uses for seed derivation (variation.DieSeed, the
+// router's ring hash) — one shared idiom, locally inlined to keep the fault
+// layer free of kernel-package imports.
+const smGamma = 0x9e3779b97f4a7c15
+
+func smMix(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Decide resolves the fault for a slot. Every slot consumes exactly three
+// draws (action, latency, cut) from a per-slot splitmix64 stream, so one
+// decision never perturbs another.
+func (s *Schedule) Decide(slot uint64) Decision {
+	state := smMix(s.seed + (slot+1)*smGamma)
+	draw := func() uint64 {
+		state += smGamma
+		return smMix(state)
+	}
+	d := Decision{Slot: slot}
+
+	v := int(draw() % 1000)
+	switch {
+	case v < s.spec.RefusePM:
+		d.Action = Refuse
+	case v < s.spec.RefusePM+s.spec.HTTP500PM:
+		d.Action = HTTP500
+	case v < s.spec.RefusePM+s.spec.HTTP500PM+s.spec.ResetPM:
+		d.Action = Reset
+	case v < s.spec.RefusePM+s.spec.HTTP500PM+s.spec.ResetPM+s.spec.TruncatePM:
+		d.Action = Truncate
+	case v < s.spec.RefusePM+s.spec.HTTP500PM+s.spec.ResetPM+s.spec.TruncatePM+s.spec.SlowPM:
+		d.Action = Slow
+	default:
+		d.Action = None
+	}
+
+	lat := draw()
+	if s.spec.LatencyPM > 0 && s.spec.MaxLatency >= time.Millisecond &&
+		int(lat%1000) < s.spec.LatencyPM {
+		steps := uint64(s.spec.MaxLatency / time.Millisecond)
+		d.Latency = time.Duration(1+smMix(lat)%steps) * time.Millisecond
+	}
+
+	cut := draw()
+	if d.Action == Reset || d.Action == Truncate {
+		span := uint64(s.spec.CutAfterMax-s.spec.CutAfterMin) + 1
+		d.CutAfter = s.spec.CutAfterMin + int(cut%span)
+	}
+	return d
+}
+
+// Next claims the next slot and returns its decision. Concurrent callers get
+// distinct consecutive slots; with sequential calls the sequence replays
+// exactly.
+func (s *Schedule) Next() Decision {
+	return s.Decide(s.next.Add(1) - 1)
+}
+
+// Slots reports how many slots have been claimed via Next.
+func (s *Schedule) Slots() uint64 { return s.next.Load() }

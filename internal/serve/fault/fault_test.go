@@ -1,0 +1,329 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// chaosSpec is a representative all-faults mix used by the determinism
+// tests.
+func chaosSpec() Spec {
+	return Spec{
+		RefusePM: 60, HTTP500PM: 60, ResetPM: 60, TruncatePM: 60, SlowPM: 60,
+		LatencyPM: 100, MaxLatency: 20 * time.Millisecond,
+		CutAfterMin: 3, CutAfterMax: 900,
+		SlowChunk: 32, SlowPause: time.Millisecond,
+	}
+}
+
+// TestScheduleReplaysBitIdentically: the replay contract — two schedules
+// with the same seed and spec produce identical decision sequences, Decide
+// is pure, and a different seed produces a different sequence.
+func TestScheduleReplaysBitIdentically(t *testing.T) {
+	const n = 2000
+	a, err := NewSchedule(42, chaosSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := NewSchedule(42, chaosSpec())
+	other, _ := NewSchedule(43, chaosSpec())
+	diverged := false
+	for i := 0; i < n; i++ {
+		da, db := a.Next(), b.Next()
+		if da != db {
+			t.Fatalf("slot %d: same seed diverged: %v vs %v", i, da, db)
+		}
+		if da != a.Decide(uint64(i)) {
+			t.Fatalf("slot %d: Next() != Decide(): %v vs %v", i, da, a.Decide(uint64(i)))
+		}
+		if da != other.Decide(uint64(i)) {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Fatal("seeds 42 and 43 produced identical 2000-slot schedules")
+	}
+	if a.Slots() != n {
+		t.Fatalf("Slots() = %d, want %d", a.Slots(), n)
+	}
+}
+
+// TestScheduleCoversMix: every configured action (and latency, and the clean
+// path) must actually occur, and cut offsets must respect their bounds.
+func TestScheduleCoversMix(t *testing.T) {
+	s, err := NewSchedule(7, chaosSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[Action]int{}
+	lat := 0
+	for i := uint64(0); i < 4000; i++ {
+		d := s.Decide(i)
+		seen[d.Action]++
+		if d.Latency > 0 {
+			lat++
+			if d.Latency > 20*time.Millisecond {
+				t.Fatalf("slot %d: latency %s exceeds MaxLatency", i, d.Latency)
+			}
+		}
+		if d.Action == Reset || d.Action == Truncate {
+			if d.CutAfter < 3 || d.CutAfter > 900 {
+				t.Fatalf("slot %d: CutAfter %d outside [3, 900]", i, d.CutAfter)
+			}
+		} else if d.CutAfter != 0 {
+			t.Fatalf("slot %d: CutAfter %d on %s", i, d.CutAfter, d.Action)
+		}
+	}
+	for _, act := range []Action{None, Refuse, HTTP500, Reset, Truncate, Slow} {
+		if seen[act] == 0 {
+			t.Fatalf("action %s never drawn in 4000 slots: %v", act, seen)
+		}
+	}
+	if lat == 0 {
+		t.Fatal("latency never drawn in 4000 slots")
+	}
+}
+
+// TestScheduleRejectsBadSpec: invalid mixes fail construction.
+func TestScheduleRejectsBadSpec(t *testing.T) {
+	if _, err := NewSchedule(1, Spec{RefusePM: 600, ResetPM: 600}); err == nil {
+		t.Fatal("overweight spec accepted")
+	}
+	if _, err := NewSchedule(1, Spec{RefusePM: -1}); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+	if _, err := NewSchedule(1, Spec{CutAfterMin: -2}); err == nil {
+		t.Fatal("negative CutAfterMin accepted")
+	}
+}
+
+// forced returns a schedule where every slot draws exactly the given action.
+func forced(t *testing.T, spec Spec) *Schedule {
+	t.Helper()
+	s, err := NewSchedule(11, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestTransportInjectsEachFault drives every action through a real HTTP
+// exchange and asserts the client-visible failure shape.
+func TestTransportInjectsEachFault(t *testing.T) {
+	const body = "0123456789abcdefghijklmnopqrstuvwxyz0123456789abcdefghijklmnopqrstuvwxyz"
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = io.WriteString(w, body)
+	}))
+	defer srv.Close()
+
+	get := func(tr *Transport) (*http.Response, error) {
+		hc := &http.Client{Transport: tr}
+		return hc.Get(srv.URL)
+	}
+
+	t.Run("refuse", func(t *testing.T) {
+		tr := &Transport{Schedule: forced(t, Spec{RefusePM: 1000})}
+		_, err := get(tr)
+		if !errors.Is(err, syscall.ECONNREFUSED) {
+			t.Fatalf("got %v, want ECONNREFUSED", err)
+		}
+	})
+	t.Run("http500", func(t *testing.T) {
+		tr := &Transport{Schedule: forced(t, Spec{HTTP500PM: 1000})}
+		resp, err := get(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 500 {
+			t.Fatalf("status %d, want 500", resp.StatusCode)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		if !strings.Contains(string(raw), "injected 500") {
+			t.Fatalf("body %q lacks the injection marker", raw)
+		}
+	})
+	t.Run("reset", func(t *testing.T) {
+		tr := &Transport{Schedule: forced(t, Spec{ResetPM: 1000, CutAfterMin: 10, CutAfterMax: 10})}
+		resp, err := get(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, err := io.ReadAll(resp.Body)
+		if !errors.Is(err, syscall.ECONNRESET) {
+			t.Fatalf("got %v after %d bytes, want ECONNRESET", err, len(raw))
+		}
+		if string(raw) != body[:10] {
+			t.Fatalf("read %q before reset, want the first 10 bytes", raw)
+		}
+	})
+	t.Run("truncate", func(t *testing.T) {
+		tr := &Transport{Schedule: forced(t, Spec{TruncatePM: 1000, CutAfterMin: 7, CutAfterMax: 7})}
+		resp, err := get(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(raw) != body[:7] {
+			t.Fatalf("read %q, want clean-EOF truncation to 7 bytes", raw)
+		}
+	})
+	t.Run("slow", func(t *testing.T) {
+		var pauses int
+		tr := &Transport{
+			Schedule: forced(t, Spec{SlowPM: 1000, SlowChunk: 8, SlowPause: time.Millisecond}),
+			Sleep:    func(time.Duration) { pauses++ },
+		}
+		resp, err := get(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		if string(raw) != body {
+			t.Fatalf("slow body corrupted: %q", raw)
+		}
+		if pauses < len(body)/8 {
+			t.Fatalf("%d pauses for %d bytes at chunk 8", pauses, len(body))
+		}
+	})
+	t.Run("latency", func(t *testing.T) {
+		var slept []time.Duration
+		tr := &Transport{
+			Schedule: forced(t, Spec{LatencyPM: 1000, MaxLatency: 50 * time.Millisecond}),
+			Sleep:    func(d time.Duration) { slept = append(slept, d) },
+		}
+		resp, err := get(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if len(slept) != 1 || slept[0] <= 0 {
+			t.Fatalf("latency sleeps = %v, want exactly one positive", slept)
+		}
+		if want := tr.Schedule.Decide(0).Latency; slept[0] != want {
+			t.Fatalf("slept %s, schedule says %s", slept[0], want)
+		}
+	})
+	t.Run("clean", func(t *testing.T) {
+		var faults []Decision
+		tr := &Transport{Schedule: forced(t, Spec{}), OnFault: func(d Decision) { faults = append(faults, d) }}
+		resp, err := get(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		if string(raw) != body {
+			t.Fatalf("clean body corrupted: %q", raw)
+		}
+		if len(faults) != 0 {
+			t.Fatalf("clean schedule reported faults: %v", faults)
+		}
+	})
+}
+
+// TestProxyInjectsSocketFaults drives the TCP proxy's fault paths end to
+// end: pass-through fidelity, refused connections, canned 500s, truncation
+// and resets below the HTTP layer.
+func TestProxyInjectsSocketFaults(t *testing.T) {
+	const body = "the quick brown fox jumps over the lazy dog, repeatedly and at length"
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = io.WriteString(w, body)
+	}))
+	defer srv.Close()
+	target := strings.TrimPrefix(srv.URL, "http://")
+
+	// One connection per request so connection slots map 1:1 to requests.
+	client := func() *http.Client {
+		tr := http.DefaultTransport.(*http.Transport).Clone()
+		tr.DisableKeepAlives = true
+		return &http.Client{Transport: tr, Timeout: 5 * time.Second}
+	}
+
+	run := func(t *testing.T, spec Spec) (*http.Response, error) {
+		t.Helper()
+		sched, err := NewSchedule(5, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := NewProxy(target, sched, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(p.Close)
+		return client().Get(p.URL())
+	}
+
+	t.Run("clean", func(t *testing.T) {
+		resp, err := run(t, Spec{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil || string(raw) != body {
+			t.Fatalf("pass-through corrupted: %q, %v", raw, err)
+		}
+	})
+	t.Run("refuse", func(t *testing.T) {
+		if _, err := run(t, Spec{RefusePM: 1000}); err == nil {
+			t.Fatal("refused connection succeeded")
+		}
+	})
+	t.Run("http500", func(t *testing.T) {
+		resp, err := run(t, Spec{HTTP500PM: 1000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 500 {
+			t.Fatalf("status %d, want 500", resp.StatusCode)
+		}
+	})
+	t.Run("truncate", func(t *testing.T) {
+		resp, err := run(t, Spec{TruncatePM: 1000, CutAfterMin: 40, CutAfterMax: 40})
+		if err != nil {
+			// The cut can land inside the response headers, which is a
+			// legitimate socket-level truncation too.
+			return
+		}
+		defer resp.Body.Close()
+		if _, err := io.ReadAll(resp.Body); err == nil {
+			t.Fatal("truncated body read cleanly to completion")
+		}
+	})
+	t.Run("reset", func(t *testing.T) {
+		resp, err := run(t, Spec{ResetPM: 1000, CutAfterMin: 40, CutAfterMax: 40})
+		if err != nil {
+			return // reset landed in the headers
+		}
+		defer resp.Body.Close()
+		if _, err := io.ReadAll(resp.Body); err == nil {
+			t.Fatal("reset body read cleanly to completion")
+		}
+	})
+}
+
+// TestDecisionString pins the log/golden rendering.
+func TestDecisionString(t *testing.T) {
+	d := Decision{Slot: 9, Action: Reset, CutAfter: 17, Latency: 3 * time.Millisecond}
+	if got := d.String(); got != "#9 reset cut=17 lat=3ms" {
+		t.Fatalf("String() = %q", got)
+	}
+	if got := fmt.Sprint(Decision{Slot: 2}); got != "#2 none" {
+		t.Fatalf("clean String() = %q", got)
+	}
+}

@@ -1,0 +1,196 @@
+package fault
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Proxy is an in-process TCP relay between a client and one backend that
+// injects the schedule's faults at the socket layer — below everything the
+// HTTP client can see or compensate for. Each accepted connection claims the
+// next slot:
+//
+//   - Refuse closes the connection immediately (before any bytes), which
+//     HTTP clients surface as a refused/ECONNRESET dial.
+//   - HTTP500 answers with a canned 500 without contacting the backend.
+//   - Reset relays CutAfter backend→client bytes, then closes with SO_LINGER
+//     zero so the kernel sends a real RST.
+//   - Truncate relays CutAfter bytes, then closes cleanly (FIN) — the
+//     mid-line NDJSON truncation a silently dropped peer produces.
+//   - Slow throttles the backend→client copy (SlowChunk bytes, SlowPause).
+//   - Latency delays the first relayed byte.
+//
+// Because HTTP keep-alive would let many requests share one connection —
+// tying fault positions to connection reuse instead of the schedule — chaos
+// tests that want per-request faults should disable keep-alives on the
+// client transport so every request is one proxied connection, one slot.
+type Proxy struct {
+	ln    net.Listener
+	sched *Schedule
+	sleep func(time.Duration)
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewProxy starts a proxy on a fresh loopback port relaying to target (a
+// host:port). Close releases the port and every in-flight connection.
+func NewProxy(target string, sched *Schedule, sleep func(time.Duration)) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	p := &Proxy{ln: ln, sched: sched, sleep: sleep, conns: map[net.Conn]struct{}{}}
+	p.wg.Add(1)
+	go p.serve(target)
+	return p, nil
+}
+
+// Addr returns the proxy's listen address (host:port).
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// URL returns the proxy's HTTP base URL.
+func (p *Proxy) URL() string { return "http://" + p.Addr() }
+
+// Close stops accepting, severs every open connection and waits for the
+// relay goroutines to drain.
+func (p *Proxy) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	_ = p.ln.Close()
+	for c := range p.conns {
+		_ = c.Close()
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+func (p *Proxy) track(c net.Conn) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		_ = c.Close()
+		return false
+	}
+	p.conns[c] = struct{}{}
+	return true
+}
+
+func (p *Proxy) untrack(c net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+	_ = c.Close()
+}
+
+func (p *Proxy) serve(target string) {
+	defer p.wg.Done()
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		if !p.track(conn) {
+			return
+		}
+		d := p.sched.Next()
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			defer p.untrack(conn)
+			p.handle(conn, target, d)
+		}()
+	}
+}
+
+func (p *Proxy) handle(client net.Conn, target string, d Decision) {
+	if d.Latency > 0 {
+		p.sleep(d.Latency)
+	}
+	switch d.Action {
+	case Refuse:
+		// Abort before any bytes: RST if the stack supports it, so the
+		// client sees a refused-looking connection, not a clean EOF.
+		if tc, ok := client.(*net.TCPConn); ok {
+			_ = tc.SetLinger(0)
+		}
+		return
+	case HTTP500:
+		// Consume the request first — an unsolicited response on an idle
+		// connection is a protocol violation HTTP clients reject.
+		if req, err := http.ReadRequest(bufio.NewReader(client)); err == nil {
+			_, _ = io.Copy(io.Discard, req.Body)
+			_ = req.Body.Close()
+		}
+		body := fmt.Sprintf(`{"error":"fault: injected 500 (conn %d)"}`, d.Slot)
+		fmt.Fprintf(client, "HTTP/1.1 500 Internal Server Error\r\nContent-Type: application/json\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s", len(body), body)
+		return
+	}
+
+	backend, err := net.Dial("tcp", target)
+	if err != nil {
+		return
+	}
+	if !p.track(backend) {
+		return
+	}
+	defer p.untrack(backend)
+
+	// Client→backend always relays in full (requests are tiny); faults act
+	// on the backend→client leg, where the stream lives.
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		_, _ = io.Copy(backend, client)
+		// Half-close toward the backend so it sees the request end even
+		// when the client keeps its read side open.
+		if tc, ok := backend.(*net.TCPConn); ok {
+			_ = tc.CloseWrite()
+		}
+	}()
+
+	var reader io.Reader = backend
+	switch d.Action {
+	case Reset:
+		_, _ = io.CopyN(client, reader, int64(d.CutAfter))
+		if tc, ok := client.(*net.TCPConn); ok {
+			_ = tc.SetLinger(0) // close sends RST, not FIN
+		}
+		return
+	case Truncate:
+		_, _ = io.CopyN(client, reader, int64(d.CutAfter))
+		return // clean FIN mid-stream
+	case Slow:
+		spec := p.sched.Spec()
+		buf := make([]byte, spec.SlowChunk)
+		for {
+			n, err := reader.Read(buf)
+			if n > 0 {
+				if _, werr := client.Write(buf[:n]); werr != nil {
+					return
+				}
+				if spec.SlowPause > 0 {
+					p.sleep(spec.SlowPause)
+				}
+			}
+			if err != nil {
+				return
+			}
+		}
+	}
+	_, _ = io.Copy(client, reader)
+}

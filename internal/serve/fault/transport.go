@@ -1,0 +1,175 @@
+package fault
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+)
+
+// Transport is an http.RoundTripper that injects the schedule's faults at
+// the protocol layer: each request claims the next slot and suffers (or
+// escapes) that slot's decision. Refuse and HTTP500 short-circuit before the
+// request is sent — the server never sees those slots — while Reset,
+// Truncate and Slow let the real exchange happen and corrupt only the
+// response body on its way up, which is exactly what a mid-stream network
+// failure looks like to the client.
+type Transport struct {
+	// Base performs the real exchanges (nil = http.DefaultTransport).
+	Base http.RoundTripper
+	// Schedule supplies the per-slot decisions.
+	Schedule *Schedule
+	// Sleep implements injected latency and slow-write pauses (nil =
+	// time.Sleep). Tests that must not depend on wall time inject a
+	// recording fake.
+	Sleep func(time.Duration)
+	// OnFault observes every decision that did anything (action or
+	// latency), in slot order under sequential use.
+	OnFault func(Decision)
+}
+
+func (t *Transport) base() http.RoundTripper {
+	if t.Base != nil {
+		return t.Base
+	}
+	return http.DefaultTransport
+}
+
+func (t *Transport) sleep(d time.Duration) {
+	if t.Sleep != nil {
+		t.Sleep(d)
+		return
+	}
+	time.Sleep(d)
+}
+
+// errRefused is what a refused connection surfaces as: a dial-shaped
+// net.OpError wrapping ECONNREFUSED, so errors.Is and the retry layer's
+// transport-error classification see the real thing.
+func errRefused() error {
+	return &net.OpError{Op: "dial", Net: "tcp", Err: syscall.ECONNREFUSED}
+}
+
+// errReset is the mid-body cut: a read-shaped net.OpError wrapping
+// ECONNRESET.
+func errReset() error {
+	return &net.OpError{Op: "read", Net: "tcp", Err: syscall.ECONNRESET}
+}
+
+// RoundTrip applies the next slot's decision around one exchange.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	d := t.Schedule.Next()
+	if t.OnFault != nil && (d.Action != None || d.Latency > 0) {
+		t.OnFault(d)
+	}
+	if d.Latency > 0 {
+		t.sleep(d.Latency)
+	}
+	switch d.Action {
+	case Refuse:
+		if req.Body != nil {
+			_ = req.Body.Close()
+		}
+		return nil, errRefused()
+	case HTTP500:
+		if req.Body != nil {
+			_ = req.Body.Close()
+		}
+		body := fmt.Sprintf(`{"error":"fault: injected 500 (slot %d)"}`, d.Slot)
+		return &http.Response{
+			Status:        "500 Internal Server Error",
+			StatusCode:    http.StatusInternalServerError,
+			Proto:         "HTTP/1.1",
+			ProtoMajor:    1,
+			ProtoMinor:    1,
+			Header:        http.Header{"Content-Type": {"application/json"}, "X-Fault-Slot": {strconv.FormatUint(d.Slot, 10)}},
+			Body:          io.NopCloser(strings.NewReader(body)),
+			ContentLength: int64(len(body)),
+			Request:       req,
+		}, nil
+	}
+	resp, err := t.base().RoundTrip(req)
+	if err != nil || resp == nil {
+		return resp, err
+	}
+	switch d.Action {
+	case Reset:
+		resp.Body = &cutBody{rc: resp.Body, remain: d.CutAfter, err: errReset()}
+	case Truncate:
+		resp.Body = &cutBody{rc: resp.Body, remain: d.CutAfter}
+	case Slow:
+		spec := t.Schedule.Spec()
+		resp.Body = &slowBody{rc: resp.Body, chunk: spec.SlowChunk, pause: spec.SlowPause, sleep: t.sleep}
+	}
+	return resp, nil
+}
+
+// cutBody relays at most remain bytes of the underlying body, then fails
+// with err (a reset) or reports a clean EOF (a truncation). On the cut it
+// closes the underlying body immediately — with bytes still unread, which
+// kills the keep-alive connection exactly like the real fault would.
+type cutBody struct {
+	rc     io.ReadCloser
+	remain int
+	err    error // nil = clean EOF (truncate)
+	done   bool
+}
+
+func (b *cutBody) Read(p []byte) (int, error) {
+	if b.done || b.remain <= 0 {
+		b.cut()
+		if b.err != nil {
+			return 0, b.err
+		}
+		return 0, io.EOF
+	}
+	if len(p) > b.remain {
+		p = p[:b.remain]
+	}
+	n, err := b.rc.Read(p)
+	b.remain -= n
+	if err != nil {
+		// The real body ended before the cut point; pass it through.
+		b.done = true
+		return n, err
+	}
+	return n, nil
+}
+
+func (b *cutBody) cut() {
+	if !b.done {
+		b.done = true
+		_ = b.rc.Close()
+	}
+}
+
+func (b *cutBody) Close() error {
+	b.cut()
+	return nil
+}
+
+// slowBody throttles reads: at most chunk bytes per Read, a pause after
+// each.
+type slowBody struct {
+	rc    io.ReadCloser
+	chunk int
+	pause time.Duration
+	sleep func(time.Duration)
+}
+
+func (b *slowBody) Read(p []byte) (int, error) {
+	if len(p) > b.chunk {
+		p = p[:b.chunk]
+	}
+	n, err := b.rc.Read(p)
+	if n > 0 && b.pause > 0 {
+		b.sleep(b.pause)
+	}
+	return n, err
+}
+
+func (b *slowBody) Close() error { return b.rc.Close() }

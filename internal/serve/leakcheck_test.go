@@ -1,0 +1,132 @@
+package serve
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// goroutineStacks returns one stack trace per live goroutine, minus the ones
+// that are never a leak: the runtime's own helpers and testing's harness.
+func goroutineStacks() []string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	var out []string
+	for _, st := range strings.Split(string(buf), "\n\n") {
+		if st == "" {
+			continue
+		}
+		if strings.Contains(st, "testing.(*T).Run") ||
+			strings.Contains(st, "testing.Main") ||
+			strings.Contains(st, "testing.runTests") ||
+			strings.Contains(st, "runtime.goexit0") ||
+			strings.Contains(st, "goroutineStacks") {
+			continue
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// leakCheck snapshots the goroutine population and, at cleanup, asserts it
+// drained back to the snapshot. Register it BEFORE starting servers,
+// routers or proxies: t.Cleanup runs LIFO, so the leak assertion then runs
+// after their closers — exactly when everything they spawned must be gone.
+// Brief stragglers (idle HTTP conns handing back, pool workers parking) get
+// a polling grace window; a genuine leak fails with the offending stacks.
+func leakCheck(t *testing.T) {
+	t.Helper()
+	base := len(goroutineStacks())
+	t.Cleanup(func() {
+		if t.Failed() {
+			return // don't stack a leak report on a real failure
+		}
+		// Idle keep-alive connections on the shared default client hold a
+		// read-loop goroutine each; they are pool state, not a leak.
+		http.DefaultClient.CloseIdleConnections()
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			stacks := goroutineStacks()
+			if len(stacks) <= base {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Errorf("goroutine leak: %d at start, %d after cleanup; current stacks:\n\n%s",
+					base, len(stacks), strings.Join(stacks, "\n\n"))
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	})
+}
+
+// connTracker counts connections a client transport opens and closes, for
+// asserting that a suite's traffic leaks no sockets. Wire it with track.
+type connTracker struct {
+	opened atomic.Int64
+	closed atomic.Int64
+}
+
+type trackedConn struct {
+	net.Conn
+	tr   *connTracker
+	once atomic.Bool
+}
+
+func (c *trackedConn) Close() error {
+	if c.once.CompareAndSwap(false, true) {
+		c.tr.closed.Add(1)
+	}
+	return c.Conn.Close()
+}
+
+// track wraps an http.Transport's dialer so every connection it opens is
+// counted, and returns the tracker.
+func (tr *connTracker) track(t *http.Transport) *http.Transport {
+	base := t.DialContext
+	if base == nil {
+		d := &net.Dialer{Timeout: 5 * time.Second}
+		base = d.DialContext
+	}
+	t.DialContext = func(ctx context.Context, network, addr string) (net.Conn, error) {
+		c, err := base(ctx, network, addr)
+		if err != nil {
+			return nil, err
+		}
+		tr.opened.Add(1)
+		return &trackedConn{Conn: c, tr: tr}, nil
+	}
+	return t
+}
+
+// assertDrained closes the transport's idle pool and asserts every opened
+// connection was closed (with a polling grace window for in-flight
+// teardown).
+func (tr *connTracker) assertDrained(t *testing.T, transport *http.Transport) {
+	t.Helper()
+	transport.CloseIdleConnections()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		opened, closed := tr.opened.Load(), tr.closed.Load()
+		if opened == closed {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Errorf("connection leak: %d opened, %d closed", opened, closed)
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

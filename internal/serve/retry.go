@@ -1,0 +1,191 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"net/url"
+	"time"
+)
+
+// Clock abstracts time for the retry layer so backoff behavior is testable
+// without wall-clock sleeps (and pinned exactly — the Retry-After floor
+// tests run on a fake). The zero Client uses the system clock.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// Sleep blocks for d or until ctx is done, returning ctx.Err() when
+	// interrupted.
+	Sleep(ctx context.Context, d time.Duration) error
+}
+
+// systemClock is the production Clock.
+type systemClock struct{}
+
+func (systemClock) Now() time.Time { return time.Now() }
+
+func (systemClock) Sleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// RetryPolicy makes a Client self-healing: calls that fail retryably —
+// shed 503s, spurious 5xx, refused connections, resets, broken streams —
+// are retried under capped exponential backoff with deterministic seeded
+// jitter and a per-call attempt/time budget. Retrying is safe because every
+// fbbd endpoint is a pure function of its request: a retried tune recomputes
+// the identical bytes, and a retried yield stream resumes from its last
+// checkpoint (duplicate dies suppressed) rather than rerunning from scratch.
+//
+// The backoff before retry k is BaseDelay·2^(k-1) capped at MaxDelay, then
+// jittered into [d/2, d) by a splitmix64 draw on (Seed, k) — a pure
+// function, so a replayed run schedules byte-identical delays. A server
+// Retry-After is honored as a floor on top of the jittered delay: the next
+// attempt never fires before the server asked. Give concurrently deployed
+// clients distinct Seeds so their herds decorrelate.
+type RetryPolicy struct {
+	// MaxAttempts bounds the total attempts per call, including the first
+	// (default 4; minimum 1).
+	MaxAttempts int
+	// BaseDelay is the pre-jitter backoff before the first retry (default
+	// 50ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the pre-jitter exponential growth (default 2s).
+	MaxDelay time.Duration
+	// MaxElapsed bounds the whole call — attempts plus backoffs — on the
+	// policy clock. A retry whose backoff would cross the budget is not
+	// attempted; the last error returns instead. 0 = no time budget.
+	MaxElapsed time.Duration
+	// Seed drives the deterministic jitter.
+	Seed int64
+	// Clock supplies time (nil = system clock).
+	Clock Clock
+	// OnRetry, when non-nil, observes every scheduled retry: the attempt
+	// that just failed (1-based), the backoff about to be slept, and the
+	// error that caused it.
+	OnRetry func(attempt int, delay time.Duration, err error)
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 50 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 2 * time.Second
+	}
+	if p.Clock == nil {
+		p.Clock = systemClock{}
+	}
+	return p
+}
+
+// retryMix is the splitmix64 finalizer (the repo's shared seed-derivation
+// idiom — variation.DieSeed, the router ring, the fault schedules).
+func retryMix(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Delay returns the deterministic jittered backoff scheduled after failed
+// attempt k (1-based), before any Retry-After floor: a pure function of
+// (Seed, k), so replayed runs back off identically.
+func (p RetryPolicy) Delay(attempt int) time.Duration {
+	p = p.withDefaults()
+	d := p.BaseDelay
+	for i := 1; i < attempt && d < p.MaxDelay; i++ {
+		d *= 2
+	}
+	if d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	// Jitter into [d/2, d): keep at least half the backoff so a floor of
+	// herd-thundering zero-delays cannot be drawn, and spread the rest.
+	x := retryMix(uint64(p.Seed) + uint64(attempt)*0x9e3779b97f4a7c15)
+	half := d / 2
+	return half + time.Duration(x%uint64(half+1))
+}
+
+// floorDelay raises delay to any server-advertised Retry-After on err.
+func floorDelay(delay time.Duration, err error) time.Duration {
+	var apiErr *APIError
+	if errors.As(err, &apiErr) && apiErr.RetryAfterSec > 0 {
+		if floor := time.Duration(apiErr.RetryAfterSec) * time.Second; delay < floor {
+			return floor
+		}
+	}
+	return delay
+}
+
+// isRetryable classifies an error for the retry layer. Transport-level
+// failures (refused dials, resets, timeouts) and retryable API statuses
+// (shed 503s, spurious 5xx) are worth another attempt against pure
+// endpoints; client-side mistakes (4xx), mid-stream server error objects,
+// and the caller's own cancellation are not. Broken streams (*StreamError)
+// are retryable — the client resumes them — unless their cause is one of
+// the non-retryable kinds.
+func isRetryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		return apiErr.IsRetryable()
+	}
+	var se *StreamError
+	if errors.As(err, &se) {
+		// The stream died mid-flight (truncation, reset, garbage line):
+		// resumable. Causes already handled above (cancellation, server
+		// error objects as APIError) were classified there.
+		return true
+	}
+	var ue *url.Error
+	if errors.As(err, &ue) {
+		return true // transport-level: never reached a response
+	}
+	var ne *net.OpError
+	if errors.As(err, &ne) {
+		return true // mid-body socket failure
+	}
+	return errors.Is(err, io.ErrUnexpectedEOF)
+}
+
+// doRetry runs call under the client's retry policy (nil policy = exactly
+// one attempt). call is re-invoked verbatim; the last error wins.
+func (c *Client) doRetry(ctx context.Context, call func() error) error {
+	if c.Retry == nil {
+		return call()
+	}
+	pol := c.Retry.withDefaults()
+	start := pol.Clock.Now()
+	for attempt := 1; ; attempt++ {
+		err := call()
+		if err == nil || !isRetryable(err) || attempt >= pol.MaxAttempts {
+			return err
+		}
+		delay := floorDelay(pol.Delay(attempt), err)
+		if pol.MaxElapsed > 0 && pol.Clock.Now().Sub(start)+delay > pol.MaxElapsed {
+			return err
+		}
+		if pol.OnRetry != nil {
+			pol.OnRetry(attempt, delay, err)
+		}
+		c.retries.Add(1)
+		if serr := pol.Clock.Sleep(ctx, delay); serr != nil {
+			return err // cancelled mid-backoff; the last real error explains why we were here
+		}
+	}
+}

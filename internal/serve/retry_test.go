@@ -1,0 +1,405 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeClock is an injectable Clock: Sleep records the requested backoff and
+// advances virtual time instantly, so Retry-After floors and budgets are
+// pinned exactly, with zero wall-clock dependence (the kernel determinism
+// contract extended to the retry layer).
+type fakeClock struct {
+	mu     sync.Mutex
+	now    time.Time
+	sleeps []time.Duration
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Sleep(ctx context.Context, d time.Duration) error {
+	c.mu.Lock()
+	c.sleeps = append(c.sleeps, d)
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+	return ctx.Err()
+}
+
+func (c *fakeClock) recorded() []time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]time.Duration(nil), c.sleeps...)
+}
+
+// TestRetryDelayDeterministicJitter: the backoff schedule is a pure function
+// of (Seed, attempt) — capped exponential, jittered into [d/2, d), identical
+// across policy instances with the same seed and different across seeds.
+func TestRetryDelayDeterministicJitter(t *testing.T) {
+	a := RetryPolicy{Seed: 9, BaseDelay: 50 * time.Millisecond, MaxDelay: 2 * time.Second}
+	b := RetryPolicy{Seed: 9, BaseDelay: 50 * time.Millisecond, MaxDelay: 2 * time.Second}
+	other := RetryPolicy{Seed: 10, BaseDelay: 50 * time.Millisecond, MaxDelay: 2 * time.Second}
+	diverged := false
+	for k := 1; k <= 12; k++ {
+		d := a.Delay(k)
+		if d != b.Delay(k) {
+			t.Fatalf("attempt %d: same seed gave %s vs %s", k, d, b.Delay(k))
+		}
+		if d != other.Delay(k) {
+			diverged = true
+		}
+		base := 50 * time.Millisecond << (k - 1)
+		if base > 2*time.Second {
+			base = 2 * time.Second
+		}
+		if d < base/2 || d > base {
+			t.Fatalf("attempt %d: delay %s outside [%s, %s]", k, d, base/2, base)
+		}
+	}
+	if !diverged {
+		t.Fatal("seeds 9 and 10 produced identical 12-attempt schedules")
+	}
+}
+
+// shedNTimes returns a handler that sheds the first n requests with 503 +
+// Retry-After and then delegates, plus a counter of requests seen.
+func shedNTimes(n int, retryAfterSec int, next http.Handler) (http.Handler, *atomic.Int64) {
+	var seen atomic.Int64
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if seen.Add(1) <= int64(n) {
+			writeError(w, &apiError{status: http.StatusServiceUnavailable, msg: "shed", retryAfter: retryAfterSec})
+			return
+		}
+		next.ServeHTTP(w, r)
+	}), &seen
+}
+
+// TestClientHonorsRetryAfterFloor: a retrying client must never schedule the
+// next attempt before the server-advertised Retry-After, even when its own
+// jittered backoff is far shorter. Pinned with the fake clock: the recorded
+// sleeps are exactly the 3s floor, not the ~50ms jitter.
+func TestClientHonorsRetryAfterFloor(t *testing.T) {
+	s := New(Options{Workers: 1})
+	h, seen := shedNTimes(2, 3, s.Handler())
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	clk := newFakeClock()
+	c := NewClient(ts.URL)
+	c.Retry = &RetryPolicy{Seed: 1, Clock: clk}
+	resp, err := c.Tune(context.Background(), TuneRequest{
+		DesignRef: DesignRef{Netlist: chainBench(8), Name: "chain8"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Summary == nil {
+		t.Fatal("no summary after retries")
+	}
+	if got := seen.Load(); got != 3 {
+		t.Fatalf("server saw %d requests, want 3", got)
+	}
+	sleeps := clk.recorded()
+	if len(sleeps) != 2 {
+		t.Fatalf("recorded %d backoffs, want 2: %v", len(sleeps), sleeps)
+	}
+	for i, d := range sleeps {
+		if d != 3*time.Second {
+			t.Fatalf("backoff %d = %s, want exactly the 3s Retry-After floor", i, d)
+		}
+	}
+	if got := c.Retries(); got != 2 {
+		t.Fatalf("Retries() = %d, want 2", got)
+	}
+}
+
+// TestClientRetryTimingReplays: the repeated-run equality contract at the
+// client level — two fresh clients with the same policy seed, driven through
+// the same failure sequence, schedule byte-identical backoff sequences.
+func TestClientRetryTimingReplays(t *testing.T) {
+	run := func() []time.Duration {
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			writeError(w, &apiError{status: http.StatusInternalServerError, msg: "boom"})
+		}))
+		defer ts.Close()
+		clk := newFakeClock()
+		c := NewClient(ts.URL)
+		c.Retry = &RetryPolicy{Seed: 77, MaxAttempts: 5, Clock: clk}
+		if _, err := c.Stats(context.Background()); err == nil {
+			t.Fatal("expected failure")
+		}
+		return clk.recorded()
+	}
+	first, second := run(), run()
+	if len(first) != 4 {
+		t.Fatalf("recorded %d backoffs, want 4 (MaxAttempts-1)", len(first))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("backoff %d differs across runs: %s vs %s", i, first[i], second[i])
+		}
+	}
+}
+
+// TestClientRetryBudgets: MaxAttempts bounds the request count exactly, and
+// MaxElapsed refuses a backoff that would cross the time budget.
+func TestClientRetryBudgets(t *testing.T) {
+	t.Run("attempts", func(t *testing.T) {
+		var seen atomic.Int64
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			seen.Add(1)
+			writeError(w, &apiError{status: http.StatusServiceUnavailable, msg: "shed", retryAfter: 1})
+		}))
+		defer ts.Close()
+		c := NewClient(ts.URL)
+		c.Retry = &RetryPolicy{Seed: 2, MaxAttempts: 3, Clock: newFakeClock()}
+		_, err := c.Stats(context.Background())
+		var apiErr *APIError
+		if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("got %v, want the final 503", err)
+		}
+		if got := seen.Load(); got != 3 {
+			t.Fatalf("server saw %d requests, want exactly MaxAttempts=3", got)
+		}
+	})
+	t.Run("elapsed", func(t *testing.T) {
+		var seen atomic.Int64
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			seen.Add(1)
+			writeError(w, &apiError{status: http.StatusServiceUnavailable, msg: "shed", retryAfter: 10})
+		}))
+		defer ts.Close()
+		clk := newFakeClock()
+		c := NewClient(ts.URL)
+		c.Retry = &RetryPolicy{Seed: 2, MaxAttempts: 10, MaxElapsed: 5 * time.Second, Clock: clk}
+		if _, err := c.Stats(context.Background()); err == nil {
+			t.Fatal("expected failure")
+		}
+		// The 10s Retry-After floor would blow the 5s budget: no retry.
+		if got := seen.Load(); got != 1 {
+			t.Fatalf("server saw %d requests, want 1 (backoff would cross MaxElapsed)", got)
+		}
+		if len(clk.recorded()) != 0 {
+			t.Fatalf("slept %v despite the budget refusal", clk.recorded())
+		}
+	})
+}
+
+// TestClientNoRetryOnClientError: 4xx is the caller's bug; retrying cannot
+// help and must not happen.
+func TestClientNoRetryOnClientError(t *testing.T) {
+	var seen atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		seen.Add(1)
+		writeError(w, badRequest("no design"))
+	}))
+	defer ts.Close()
+	c := NewClient(ts.URL)
+	c.Retry = &RetryPolicy{Seed: 3, Clock: newFakeClock()}
+	_, err := c.Tune(context.Background(), TuneRequest{})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusBadRequest {
+		t.Fatalf("got %v, want a 400", err)
+	}
+	if got := seen.Load(); got != 1 {
+		t.Fatalf("server saw %d requests, want 1", got)
+	}
+	if c.Retries() != 0 {
+		t.Fatalf("Retries() = %d after a non-retryable failure", c.Retries())
+	}
+}
+
+// TestClientRetriesTransportErrors: a refused connection is retryable — the
+// request never reached a (pure) endpoint.
+func TestClientRetriesTransportErrors(t *testing.T) {
+	// A listener that is immediately closed: every dial is refused.
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	url := ts.URL
+	ts.Close()
+	c := NewClient(url)
+	clk := newFakeClock()
+	c.Retry = &RetryPolicy{Seed: 4, MaxAttempts: 3, Clock: clk}
+	if _, err := c.Stats(context.Background()); err == nil {
+		t.Fatal("expected failure against a closed listener")
+	}
+	if got := len(clk.recorded()); got != 2 {
+		t.Fatalf("recorded %d backoffs, want 2", got)
+	}
+}
+
+// cutRT truncates response bodies per scripted request index: cuts[i] >= 0
+// caps request i's body at that many bytes (then closes the underlying
+// connection, like a dropped peer); -1 passes through clean.
+type cutRT struct {
+	base http.RoundTripper
+	mu   sync.Mutex
+	cuts []int
+	i    int
+}
+
+func (rt *cutRT) RoundTrip(req *http.Request) (*http.Response, error) {
+	rt.mu.Lock()
+	k := rt.i
+	rt.i++
+	rt.mu.Unlock()
+	resp, err := rt.base.RoundTrip(req)
+	if err != nil || k >= len(rt.cuts) || rt.cuts[k] < 0 {
+		return resp, err
+	}
+	resp.Body = &truncBody{rc: resp.Body, remain: rt.cuts[k]}
+	return resp, nil
+}
+
+type truncBody struct {
+	rc     io.ReadCloser
+	remain int
+	done   bool
+}
+
+func (b *truncBody) Read(p []byte) (int, error) {
+	if b.done || b.remain <= 0 {
+		if !b.done {
+			b.done = true
+			_ = b.rc.Close()
+		}
+		return 0, io.EOF
+	}
+	if len(p) > b.remain {
+		p = p[:b.remain]
+	}
+	n, err := b.rc.Read(p)
+	b.remain -= n
+	if err != nil {
+		b.done = true
+	}
+	return n, err
+}
+
+func (b *truncBody) Close() error {
+	if !b.done {
+		b.done = true
+		_ = b.rc.Close()
+	}
+	return nil
+}
+
+// TestYieldStreamErrorSurfacesFrontier (satellite): a mid-stream failure
+// must report which die the stream died at, not an opaque decode error —
+// here 3 complete die lines arrive, then a cut mid-line.
+func TestYieldStreamErrorSurfacesFrontier(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		for i := 0; i < 3; i++ {
+			fmt.Fprintf(w, `{"die":%d,"seed":1,"betaActual":0,"betaSensed":0,"met":true,"iters":0,"dcritBeforePS":1,"dcritAfterPS":1,"leakBeforeNW":1,"leakAfterNW":1}`+"\n", i)
+		}
+		io.WriteString(w, `{"die":3,"seed":1,"betaActu`) // cut mid-line, no footer
+	}))
+	defer ts.Close()
+	c := NewClient(ts.URL)
+	delivered := 0
+	_, err := c.Yield(context.Background(), YieldRequest{
+		DesignRef: DesignRef{Benchmark: "c432"}, Dies: 10,
+	}, func(d *DieResult) error { delivered++; return nil })
+	var se *StreamError
+	if !errors.As(err, &se) {
+		t.Fatalf("got %T (%v), want *StreamError", err, err)
+	}
+	if se.NextDie != 3 {
+		t.Fatalf("StreamError.NextDie = %d, want 3", se.NextDie)
+	}
+	if delivered != 3 {
+		t.Fatalf("delivered %d dies before the error, want 3", delivered)
+	}
+	if !strings.Contains(err.Error(), "die 3") {
+		t.Fatalf("error %q does not name the frontier", err)
+	}
+}
+
+// yieldCollect drives one Yield call and returns the delivered die lines
+// re-encoded exactly as the server writes them, plus the footer bytes.
+func yieldCollect(t *testing.T, c *Client, req YieldRequest) ([][]byte, []byte) {
+	t.Helper()
+	var dies [][]byte
+	st, err := c.Yield(context.Background(), req, func(d *DieResult) error {
+		dies = append(dies, encodeJSON(t, d))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dies, encodeJSON(t, YieldFooter{Stats: st})
+}
+
+// TestYieldRetryResumesMidStreamCuts: the end-to-end resume contract — a
+// stream cut twice mid-flight, resumed from checkpoints, must deliver every
+// die exactly once in order and reproduce the fault-free stream's die bytes
+// and footer bytes exactly.
+func TestYieldRetryResumesMidStreamCuts(t *testing.T) {
+	leakCheck(t)
+	_, c := newTestServer(t, Options{Workers: 2})
+	req := YieldRequest{
+		DesignRef:  DesignRef{Netlist: chainBench(24), Name: "chain24"},
+		Dies:       40,
+		Seed:       11,
+		Checkpoint: 8,
+		Workers:    2,
+	}
+	wantDies, wantFooter := yieldCollect(t, c, req)
+	if len(wantDies) != 40 {
+		t.Fatalf("fault-free run delivered %d dies, want 40", len(wantDies))
+	}
+
+	// Same server, a client whose transport cuts the first two attempts
+	// mid-body (far enough in that dies and a checkpoint got through).
+	tr := &cutRT{base: http.DefaultTransport, cuts: []int{4000, 2000, -1}}
+	hc := &http.Client{Transport: tr}
+	rc := NewClientWith(c.BaseURL, hc)
+	clk := newFakeClock()
+	rc.Retry = &RetryPolicy{Seed: 5, MaxAttempts: 5, Clock: clk}
+
+	gotDies, gotFooter := yieldCollect(t, rc, req)
+	if rc.Retries() == 0 {
+		t.Fatal("the cut transport caused no retries; the test exercised nothing")
+	}
+	if len(gotDies) != len(wantDies) {
+		t.Fatalf("resumed run delivered %d dies, want %d", len(gotDies), len(wantDies))
+	}
+	for i := range wantDies {
+		if string(gotDies[i]) != string(wantDies[i]) {
+			t.Fatalf("die %d diverged after resume:\nwant %s\ngot  %s", i, wantDies[i], gotDies[i])
+		}
+	}
+	if string(gotFooter) != string(wantFooter) {
+		t.Fatalf("footer diverged after resume:\nwant %s\ngot  %s", wantFooter, gotFooter)
+	}
+}
+
+// TestYieldResumeRequestValidation: the server rejects malformed resume
+// tokens up front.
+func TestYieldResumeRequestValidation(t *testing.T) {
+	_, c := newTestServer(t, Options{Workers: 1})
+	body := `{"benchmark":"c432","dies":10,"resume":{"ckpt":3,"acc":{"dies":2}}}`
+	status, raw := postRaw(t, c, "/v1/yield", body)
+	if status != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400: %s", status, raw)
+	}
+	if !strings.Contains(string(raw), "resume.acc covers 2 dies") {
+		t.Fatalf("body %q does not explain the mismatch", raw)
+	}
+}

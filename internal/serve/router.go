@@ -85,6 +85,23 @@ type RouterOptions struct {
 	// cell.Default() — must match the replicas' library for the router's
 	// keys to agree with theirs).
 	Library *cell.Library
+	// ForwardTimeout bounds each forward's time to response headers (0 =
+	// unbounded). It deliberately does not cover the body: a yield stream
+	// answers its headers immediately and may then relay for minutes, so
+	// the timer is stopped the moment the replica starts responding. A
+	// timed-out forward counts as a transport failure for the breaker and
+	// spills to the next replica.
+	ForwardTimeout time.Duration
+	// BreakerThreshold is the consecutive-forward-failure count that trips
+	// a replica's circuit breaker (default 3; values below 1 are raised to
+	// 1, i.e. trip on the first failure). A trip removes the replica from
+	// the ring immediately and pokes its health loop for an authoritative
+	// re-probe, so a dead replica stops taking keys without waiting out
+	// HealthInterval; the probe's verdict then rules — a replica whose
+	// /healthz still answers rejoins the ring with its failure count
+	// restarted. Only transport-level failures count; a shed 503 is a
+	// healthy replica pushing back, not a failure.
+	BreakerThreshold int
 }
 
 func (o RouterOptions) withDefaults() RouterOptions {
@@ -105,6 +122,11 @@ func (o RouterOptions) withDefaults() RouterOptions {
 	if o.Library == nil {
 		o.Library = cell.Default()
 	}
+	if o.BreakerThreshold == 0 {
+		o.BreakerThreshold = 3
+	} else if o.BreakerThreshold < 1 {
+		o.BreakerThreshold = 1
+	}
 	return o
 }
 
@@ -119,6 +141,11 @@ type replica struct {
 	// requests served here as a failover target.
 	forwarded atomic.Int64
 	spills    atomic.Int64
+	// fails counts consecutive forward transport failures (reset by any
+	// forwarded response); trips counts how often fails reached the
+	// breaker threshold and ejected the replica from the ring.
+	fails atomic.Int64
+	trips atomic.Int64
 	// checkCh pokes the health loop for an immediate re-probe (sized 1;
 	// a pending poke absorbs duplicates).
 	checkCh chan struct{}
@@ -245,6 +272,21 @@ func (rt *Router) poke(rep *replica) {
 	}
 }
 
+// noteForwardFailure feeds one transport-level forward failure to rep's
+// circuit breaker: at BreakerThreshold consecutive failures the replica is
+// tripped out of the ring and its failure count restarts. Tripped or not,
+// the health loop is poked so the authoritative /healthz verdict arrives
+// immediately instead of at the next HealthInterval tick.
+func (rt *Router) noteForwardFailure(rep *replica) {
+	if rep.fails.Add(1) >= int64(rt.opts.BreakerThreshold) {
+		rep.fails.Store(0)
+		if rep.healthy.CompareAndSwap(true, false) {
+			rep.trips.Add(1)
+		}
+	}
+	rt.poke(rep)
+}
+
 // designKey resolves a request's DesignRef to its cluster routing key
 // without running the flow: built-in benchmarks are generated (netlist
 // only) once and memoized, uploads are parsed per request. The key is the
@@ -325,21 +367,25 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, path string, b
 	// if they all fail too, that response — its Retry-After is the
 	// replica's own backpressure signal — is what the client gets.
 	var lastShed *http.Response
+	var lastShedDone func()
 	dropShed := func() {
 		if lastShed != nil {
 			drainClose(lastShed.Body)
+			lastShedDone()
 			lastShed = nil
 		}
 	}
 	for i, rep := range seq {
-		resp, err := rt.send(r, rep, path, body)
+		resp, done, err := rt.send(r, rep, path, body)
 		if err != nil {
-			// Transport failure: mark it out of the ring now, poke its
-			// health loop for the authoritative view, try the next.
-			rep.healthy.Store(false)
-			rt.poke(rep)
+			// Transport failure (dial error, reset, forward timeout): feed
+			// the breaker — which trips the replica out of the ring after
+			// BreakerThreshold in a row and re-probes it immediately — and
+			// try the next candidate.
+			rt.noteForwardFailure(rep)
 			continue
 		}
+		rep.fails.Store(0)
 		if resp.StatusCode == http.StatusServiceUnavailable {
 			// Shed (saturated) or drain race: re-probe so a draining
 			// replica leaves the ring before its next key arrives, and
@@ -347,11 +393,12 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, path string, b
 			rt.poke(rep)
 			dropShed()
 			if i < len(seq)-1 {
-				lastShed = resp
+				lastShed, lastShedDone = resp, done
 				continue
 			}
 			rt.shed.Add(1)
 			rt.relay(w, resp)
+			done()
 			return
 		}
 		dropShed()
@@ -360,24 +407,46 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, path string, b
 		}
 		rep.forwarded.Add(1)
 		rt.relay(w, resp)
+		done()
 		return
 	}
 	rt.shed.Add(1)
 	if lastShed != nil {
 		rt.relay(w, lastShed)
+		lastShedDone()
 		return
 	}
 	writeError(w, errNoReplicas)
 }
 
-// send issues one forwarded POST, propagating the client's context.
-func (rt *Router) send(r *http.Request, rep *replica, path string, body []byte) (*http.Response, error) {
-	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, rep.addr+path, bytes.NewReader(body))
+// send issues one forwarded POST, propagating the client's context and
+// applying ForwardTimeout to the headers phase. On success the returned
+// done func must be called once the response body has been fully consumed
+// (it releases the forward's context resources); on error done is nil.
+func (rt *Router) send(r *http.Request, rep *replica, path string, body []byte) (*http.Response, func(), error) {
+	ctx, cancel := context.WithCancel(r.Context())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, rep.addr+path, bytes.NewReader(body))
 	if err != nil {
-		return nil, err
+		cancel()
+		return nil, nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
-	return rt.client.Do(req)
+	// The timeout covers only the wait for response headers: the timer is
+	// armed before Do and stopped as soon as the replica answers, so a
+	// long NDJSON relay afterwards is never cut short.
+	var timer *time.Timer
+	if rt.opts.ForwardTimeout > 0 {
+		timer = time.AfterFunc(rt.opts.ForwardTimeout, cancel)
+	}
+	resp, err := rt.client.Do(req)
+	if timer != nil {
+		timer.Stop()
+	}
+	if err != nil {
+		cancel()
+		return nil, nil, err
+	}
+	return resp, cancel, nil
 }
 
 // relay streams one upstream response to the client, flushing as bytes
@@ -501,29 +570,32 @@ func (rt *Router) table1Part(r *http.Request, name string, sub Table1Request, be
 	var last *apiError
 	var lastRA string
 	for i, rep := range seq {
-		resp, err := rt.send(r, rep, "/v1/table1", body)
+		resp, done, err := rt.send(r, rep, "/v1/table1", body)
 		if err != nil {
-			rep.healthy.Store(false)
-			rt.poke(rep)
+			rt.noteForwardFailure(rep)
 			last = &apiError{status: http.StatusServiceUnavailable, msg: fmt.Sprintf("replica %s: %v", rep.addr, err), retryAfter: 1}
 			lastRA = ""
 			continue
 		}
+		rep.fails.Store(0)
 		if resp.StatusCode == http.StatusServiceUnavailable {
 			rt.poke(rep)
 			last = &apiError{status: http.StatusServiceUnavailable, msg: readErrorBody(resp), retryAfter: 1}
 			lastRA = resp.Header.Get("Retry-After")
 			drainClose(resp.Body)
+			done()
 			continue
 		}
 		if resp.StatusCode != http.StatusOK {
 			p.err = &apiError{status: resp.StatusCode, msg: readErrorBody(resp)}
 			drainClose(resp.Body)
+			done()
 			return p
 		}
 		var out Table1Response
 		err = json.NewDecoder(resp.Body).Decode(&out)
 		drainClose(resp.Body)
+		done()
 		if err != nil {
 			p.err = &apiError{status: http.StatusBadGateway, msg: fmt.Sprintf("replica %s: bad table1 response: %v", rep.addr, err)}
 			return p
@@ -570,6 +642,7 @@ func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
 				Draining:  rep.draining.Load(),
 				Forwarded: rep.forwarded.Load(),
 				Spills:    rep.spills.Load(),
+				Trips:     rep.trips.Load(),
 			}
 			stats, err := NewClientWith(rep.addr, rt.client).Stats(r.Context())
 			if err != nil {
@@ -643,9 +716,11 @@ type ReplicaStatus struct {
 	Healthy  bool   `json:"healthy"`
 	Draining bool   `json:"draining"`
 	// Forwarded counts requests this router routed here as key owner,
-	// Spills those it served as a failover target.
+	// Spills those it served as a failover target, Trips how often the
+	// consecutive-failure breaker ejected it from the ring.
 	Forwarded int64 `json:"forwarded"`
 	Spills    int64 `json:"spills"`
+	Trips     int64 `json:"trips"`
 	// Stats is the replica's own /v1/stats (absent when unreachable, with
 	// Err explaining why).
 	Stats *StatsResponse `json:"stats,omitempty"`

@@ -21,6 +21,7 @@ import (
 // replica that ran them).
 func newCluster(t *testing.T, n int, opts Options, onBuild func(replica int, key string)) ([]*Server, []string) {
 	t.Helper()
+	leakCheck(t)
 	servers := make([]*Server, n)
 	urls := make([]string, n)
 	for i := 0; i < n; i++ {
@@ -42,6 +43,7 @@ func newCluster(t *testing.T, n int, opts Options, onBuild func(replica int, key
 // The health interval is long so tests drive the view with CheckNow.
 func newTestRouter(t *testing.T, urls []string, opts RouterOptions) (*Router, *Client) {
 	t.Helper()
+	leakCheck(t)
 	opts.Replicas = urls
 	if opts.HealthInterval == 0 {
 		opts.HealthInterval = time.Hour // tests poll explicitly

@@ -359,6 +359,7 @@ func TestQueuedRequestRunsAfterWorkerFrees(t *testing.T) {
 }
 
 func TestDrainRejectsNewAndFinishesInFlight(t *testing.T) {
+	leakCheck(t)
 	s, c, gate := blockingServer(t, Options{Workers: 2, CacheSize: 2})
 	inflight := make(chan error, 1)
 	go func() {
@@ -402,6 +403,7 @@ func TestDrainRejectsNewAndFinishesInFlight(t *testing.T) {
 // never a hang, never a second answer — and Drain must return afterwards
 // (no WaitGroup leak from queued requests). CI runs this under -race.
 func TestDrainVsQueuedRequests(t *testing.T) {
+	leakCheck(t)
 	s, c, gate := blockingServer(t, Options{Workers: 1, Queue: 8, CacheSize: 16})
 	const queued = 6
 	results := make(chan error, queued+1)

@@ -70,6 +70,11 @@ type Options struct {
 	Process *tech.Process
 	// Model is the variability model (nil = variation.Default()).
 	Model *variation.Model
+	// RetryAfterSec is the Retry-After advertised on shed (503)
+	// responses, in seconds (default 1). Retrying clients honor it as a
+	// floor on their backoff, so a saturated deployment can push its
+	// herd further out by raising it.
+	RetryAfterSec int
 	// OnPrefixBuild, when non-nil, is called once per prefix actually
 	// built — the conformance tests assert coalescing with it.
 	OnPrefixBuild func(key string)
@@ -92,6 +97,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxGates <= 0 {
 		o.MaxGates = 100_000
+	}
+	if o.RetryAfterSec <= 0 {
+		o.RetryAfterSec = 1
 	}
 	if o.Library == nil {
 		o.Library = cell.Default()
@@ -150,6 +158,11 @@ func New(opts Options) *Server {
 	return s
 }
 
+// shedError builds a 503 with this server's configured Retry-After.
+func (s *Server) shedError(msg string) *apiError {
+	return &apiError{status: http.StatusServiceUnavailable, msg: msg, retryAfter: s.opts.RetryAfterSec}
+}
+
 // Handler returns the HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
@@ -201,7 +214,7 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request) (release func(), 
 	if s.draining {
 		s.drainMu.RUnlock()
 		s.shed.Add(1)
-		writeError(w, errDraining)
+		writeError(w, s.shedError("server draining"))
 		return nil, false
 	}
 	s.wg.Add(1)
@@ -225,7 +238,7 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request) (release func(), 
 	default:
 		s.wg.Done()
 		s.shed.Add(1)
-		writeError(w, errSaturated)
+		writeError(w, s.shedError("server saturated"))
 		return nil, false
 	}
 	defer func() { <-s.queueSem }()
@@ -235,7 +248,7 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request) (release func(), 
 	case <-s.drainCh:
 		s.wg.Done()
 		s.shed.Add(1)
-		writeError(w, errDraining)
+		writeError(w, s.shedError("server draining"))
 		return nil, false
 	case <-r.Context().Done():
 		// Client gave up while queued; nothing to write.
@@ -430,9 +443,29 @@ func (s *Server) handleYield(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(w)
 	rc := http.NewResponseController(w)
 	grid := pfx.Placement.Lib.Grid
-	stats, err := variation.YieldStream(r.Context(),
+
+	// Checkpoint/resume ride the variation layer's accumulator: a resumed
+	// request starts at the checkpoint's die with its exact float state, so
+	// the suffix it streams — die lines, later checkpoints, footer — is
+	// byte-identical to the tail of the unbroken stream.
+	sopts := variation.StreamOptions{}
+	if req.Resume != nil {
+		acc := req.Resume.Acc
+		sopts.StartDie = req.Resume.Ckpt
+		sopts.Prior = &acc
+	}
+	if req.Checkpoint > 0 {
+		sopts.CheckpointEvery = req.Checkpoint
+		sopts.OnCheckpoint = func(die int, acc variation.YieldAccum) error {
+			if err := enc.Encode(YieldCheckpoint{Ckpt: die, Acc: acc}); err != nil {
+				return err
+			}
+			return rc.Flush()
+		}
+	}
+	stats, err := variation.YieldStreamResumable(r.Context(),
 		pfx.Analyzer, pfx.Allocator, pfx.Timing,
-		s.opts.Process, *s.opts.Model, req.Dies, req.Seed, opts,
+		s.opts.Process, *s.opts.Model, req.Dies, req.Seed, opts, sopts,
 		func(die int, tr *variation.TuneResult) error {
 			if err := enc.Encode(dieResult(die, variation.DieSeed(req.Seed, die), tr, grid)); err != nil {
 				return err

@@ -129,8 +129,7 @@ func TestYieldStreamMatchesFullPathReference(t *testing.T) {
 	var inst *core.Instance
 	limit := nom.DcritPS * (1 + 0.001)
 	wantResults := make([]*TuneResult, dies)
-	wantStats := &YieldStats{Dies: dies}
-	sumIters, sumClusters := 0, 0
+	wantAcc := newYieldAccum()
 	func() {
 		o := opts
 		o.setDefaults()
@@ -141,17 +140,10 @@ func TestYieldStreamMatchesFullPathReference(t *testing.T) {
 				t.Fatal(err)
 			}
 			wantResults[i] = r
-			wantStats.accumulate(r, limit, &sumIters, &sumClusters)
+			wantAcc.fold(r, limit)
 		}
 	}()
-	wantStats.MeanBetaPct /= float64(dies)
-	wantStats.MeanLeakBeforeNW /= float64(dies)
-	wantStats.MeanLeakAfterNW /= float64(dies)
-	if wantStats.TunedDies > 0 {
-		wantStats.MeanLeakTunedOnlyNW /= float64(wantStats.TunedDies)
-		wantStats.MeanTuneIters = float64(sumIters) / float64(wantStats.TunedDies)
-		wantStats.MeanClustersPerTuned = float64(sumClusters) / float64(wantStats.TunedDies)
-	}
+	wantStats := wantAcc.stats()
 	if wantStats.TunedDies == 0 {
 		t.Fatal("population tuned no dies; reference proves nothing")
 	}

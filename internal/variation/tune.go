@@ -354,6 +354,99 @@ func (tn *Tuner) tuneTail(res *TuneResult, die *Die, nomDcrit, dieDcrit, limit, 
 	return res, nil
 }
 
+// YieldAccum is the raw, order-dependent accumulator state of a yield
+// study: the exact partial sums and counters YieldStream folds dies into, in
+// die order, before the final normalization produces a YieldStats. It exists
+// so a stream can be *resumed*: a study that died after die k restarts from
+// the accumulator state covering dies [0, k) and the suffix accumulation
+// performs the identical float operation sequence an unbroken run would —
+// the final statistics are byte-identical. The JSON form round-trips every
+// float64 exactly (Go's encoder emits the shortest representation that
+// parses back to the same bits), so the state survives a wire crossing
+// unchanged. Checkpoint states always cover at least one die, which keeps
+// WorstBetaPct finite (the fresh accumulator's -Inf sentinel never needs to
+// be marshaled).
+type YieldAccum struct {
+	// Dies counts the dies folded in so far; the state covers dies
+	// [0, Dies) of the study.
+	Dies int `json:"dies"`
+	// MetBefore / MetAfter count dies meeting timing before / after tuning.
+	MetBefore int `json:"metBefore"`
+	MetAfter  int `json:"metAfter"`
+	// SumBetaPct is the running sum of per-die slowdowns (in percent);
+	// WorstBetaPct the running maximum.
+	SumBetaPct   float64 `json:"sumBetaPct"`
+	WorstBetaPct float64 `json:"worstBetaPct"`
+	// SumLeak* are the running leakage sums (all dies / all dies after
+	// tuning / tuned dies only).
+	SumLeakBeforeNW    float64 `json:"sumLeakBeforeNW"`
+	SumLeakAfterNW     float64 `json:"sumLeakAfterNW"`
+	SumLeakTunedOnlyNW float64 `json:"sumLeakTunedOnlyNW"`
+	// TunedDies counts dies that received bias; FailedCompensations dies
+	// that missed timing even after tuning.
+	TunedDies           int `json:"tunedDies"`
+	FailedCompensations int `json:"failedCompensations"`
+	// SumIters / SumClusters accumulate tuning effort over tuned dies.
+	SumIters    int `json:"sumIters"`
+	SumClusters int `json:"sumClusters"`
+}
+
+// newYieldAccum returns the fresh (zero-die) accumulator. WorstBetaPct
+// starts at -Inf, not zero: an all-fast population's worst slowdown is
+// negative, and a zero floor would silently report it as exactly nominal.
+func newYieldAccum() YieldAccum {
+	return YieldAccum{WorstBetaPct: math.Inf(-1)}
+}
+
+// fold accumulates one die's result, in die order. The operations (and
+// their order) are the byte-identity contract of resumed streams: a suffix
+// folded onto a prior state reproduces an unbroken run exactly.
+func (a *YieldAccum) fold(r *TuneResult, limit float64) {
+	a.Dies++
+	a.SumBetaPct += r.BetaActual * 100
+	if r.BetaActual*100 > a.WorstBetaPct {
+		a.WorstBetaPct = r.BetaActual * 100
+	}
+	if r.DcritBeforePS <= limit {
+		a.MetBefore++
+	}
+	if r.Met {
+		a.MetAfter++
+	}
+	a.SumLeakBeforeNW += r.LeakBeforeNW
+	a.SumLeakAfterNW += r.LeakAfterNW
+	if r.Solution != nil {
+		a.TunedDies++
+		a.SumLeakTunedOnlyNW += r.LeakAfterNW
+		a.SumIters += r.Iters
+		a.SumClusters += r.Solution.Clusters
+	}
+	if !r.Met {
+		a.FailedCompensations++
+	}
+}
+
+// stats normalizes the accumulated sums into the study's YieldStats.
+func (a *YieldAccum) stats() *YieldStats {
+	st := &YieldStats{
+		Dies:                a.Dies,
+		MetBefore:           a.MetBefore,
+		MetAfter:            a.MetAfter,
+		MeanBetaPct:         a.SumBetaPct / float64(a.Dies),
+		WorstBetaPct:        a.WorstBetaPct,
+		MeanLeakBeforeNW:    a.SumLeakBeforeNW / float64(a.Dies),
+		MeanLeakAfterNW:     a.SumLeakAfterNW / float64(a.Dies),
+		TunedDies:           a.TunedDies,
+		FailedCompensations: a.FailedCompensations,
+	}
+	if a.TunedDies > 0 {
+		st.MeanLeakTunedOnlyNW = a.SumLeakTunedOnlyNW / float64(a.TunedDies)
+		st.MeanTuneIters = float64(a.SumIters) / float64(a.TunedDies)
+		st.MeanClustersPerTuned = float64(a.SumClusters) / float64(a.TunedDies)
+	}
+	return st
+}
+
 // YieldStats aggregates a Monte-Carlo tuning study.
 type YieldStats struct {
 	Dies                 int
@@ -468,8 +561,57 @@ func wilsonHalfWidth(n, successes int) float64 {
 // aborts the stream and is returned; the partially accumulated stats are
 // discarded.
 func YieldStream(ctx context.Context, an *sta.Analyzer, al *core.Allocator, nom *sta.Timing, proc *tech.Process, m Model, nDies int, seed int64, opts TuneOptions, emit func(die int, r *TuneResult) error) (*YieldStats, error) {
+	return YieldStreamResumable(ctx, an, al, nom, proc, m, nDies, seed, opts, StreamOptions{}, emit)
+}
+
+// StreamOptions controls the resume and checkpoint behavior of
+// YieldStreamResumable. The zero value reproduces YieldStream exactly: start
+// at die 0, no prior state, no checkpoints.
+type StreamOptions struct {
+	// StartDie begins the stream at this absolute die index instead of 0.
+	// Dies [0, StartDie) are assumed already studied; their accumulator
+	// state must be supplied via Prior. Per-die seeds are absolute
+	// (DieSeed(seed, die)), so the emitted suffix is byte-identical to the
+	// tail of an unbroken run over the same nDies.
+	StartDie int
+	// Prior is the accumulator state covering dies [0, StartDie). Required
+	// (with Prior.Dies == StartDie) when StartDie > 0; must be nil or
+	// zero-die otherwise.
+	Prior *YieldAccum
+	// CheckpointEvery, when positive, invokes OnCheckpoint after every
+	// CheckpointEvery-th die (at absolute die counts divisible by it), with
+	// the accumulator state at that point. A stream resumed from a
+	// checkpoint re-emits the remaining checkpoints at the same absolute
+	// positions. No checkpoint is emitted at the very end of the stream
+	// (the footer stats cover it) or after adaptive termination.
+	CheckpointEvery int
+	// OnCheckpoint receives the die count covered (== acc.Dies) and a copy
+	// of the accumulator. A non-nil error aborts the stream.
+	OnCheckpoint func(die int, acc YieldAccum) error
+}
+
+// YieldStreamResumable is YieldStream with an offset start and periodic
+// accumulator checkpoints. Resuming with the accumulator state captured at
+// die k replays the identical float operation sequence of an unbroken run's
+// tail: per-die results, checkpoint states and the final YieldStats are all
+// byte-identical. StartDie == nDies is the degenerate footer-only resume —
+// no dies are tuned and the stats are finalized straight from Prior.
+func YieldStreamResumable(ctx context.Context, an *sta.Analyzer, al *core.Allocator, nom *sta.Timing, proc *tech.Process, m Model, nDies int, seed int64, opts TuneOptions, sopts StreamOptions, emit func(die int, r *TuneResult) error) (*YieldStats, error) {
 	if nDies <= 0 {
 		return nil, errors.New("variation: nDies must be positive")
+	}
+	if sopts.StartDie < 0 || sopts.StartDie > nDies {
+		return nil, fmt.Errorf("variation: StartDie %d out of range [0, %d]", sopts.StartDie, nDies)
+	}
+	if sopts.StartDie > 0 {
+		if sopts.Prior == nil {
+			return nil, errors.New("variation: StartDie > 0 requires a Prior accumulator")
+		}
+		if sopts.Prior.Dies != sopts.StartDie {
+			return nil, fmt.Errorf("variation: Prior covers %d dies, StartDie is %d", sopts.Prior.Dies, sopts.StartDie)
+		}
+	} else if sopts.Prior != nil && sopts.Prior.Dies != 0 {
+		return nil, fmt.Errorf("variation: Prior covers %d dies but StartDie is 0", sopts.Prior.Dies)
 	}
 	if opts.SolveCache != nil && opts.SolveCache.Allocator() != al {
 		return nil, errors.New("variation: TuneOptions.SolveCache built over a different Allocator")
@@ -587,14 +729,17 @@ func YieldStream(ctx context.Context, an *sta.Analyzer, al *core.Allocator, nom 
 		return out, nil
 	}
 
-	// WorstBetaPct starts at -Inf, not zero: an all-fast population's worst
-	// slowdown is negative, and a zero floor would silently report it as
-	// exactly nominal. nDies >= 1 guarantees the first die overwrites it.
-	st := &YieldStats{WorstBetaPct: math.Inf(-1)}
-	sumIters, sumClusters := 0, 0
-	processed := 0
+	// The accumulator starts fresh (WorstBetaPct at -Inf so an all-fast
+	// population's negative worst slowdown is not floored at nominal) or
+	// from the caller's prior state when resuming; acc.Dies is the absolute
+	// die index throughout, so checkpoint positions and the adaptive
+	// termination point are independent of where the stream started.
+	acc := newYieldAccum()
+	if sopts.Prior != nil {
+		acc = *sopts.Prior
+	}
 	done := false
-	for lo := 0; lo < nDies && !done; lo += yieldChunk {
+	for lo := sopts.StartDie; lo < nDies && !done; lo += yieldChunk {
 		hi := min(lo+yieldChunk, nDies)
 		nBatches := (hi - lo + width - 1) / width
 		avail = append(avail[:0], workers...)
@@ -609,19 +754,24 @@ func YieldStream(ctx context.Context, an *sta.Analyzer, al *core.Allocator, nom 
 		}
 		for _, batch := range results {
 			for _, r := range batch {
-				st.accumulate(r, limit, &sumIters, &sumClusters)
-				idx := processed
-				processed++
+				idx := acc.Dies
+				acc.fold(r, limit)
 				if emit != nil {
 					if err := emit(idx, r); err != nil {
 						return nil, err
 					}
 				}
-				if opts.TargetCI > 0 && wilsonHalfWidth(processed, st.MetAfter) <= opts.TargetCI {
+				if opts.TargetCI > 0 && wilsonHalfWidth(acc.Dies, acc.MetAfter) <= opts.TargetCI {
 					// Converged: drop the rest of the window. Everything
 					// accumulated so far is exactly a processed-die study.
 					done = true
 					break
+				}
+				if sopts.CheckpointEvery > 0 && sopts.OnCheckpoint != nil &&
+					acc.Dies%sopts.CheckpointEvery == 0 && acc.Dies < nDies {
+					if err := sopts.OnCheckpoint(acc.Dies, acc); err != nil {
+						return nil, err
+					}
 				}
 			}
 			if done {
@@ -629,41 +779,5 @@ func YieldStream(ctx context.Context, an *sta.Analyzer, al *core.Allocator, nom 
 			}
 		}
 	}
-
-	st.Dies = processed
-	st.MeanBetaPct /= float64(processed)
-	st.MeanLeakBeforeNW /= float64(processed)
-	st.MeanLeakAfterNW /= float64(processed)
-	if st.TunedDies > 0 {
-		st.MeanLeakTunedOnlyNW /= float64(st.TunedDies)
-		st.MeanTuneIters = float64(sumIters) / float64(st.TunedDies)
-		st.MeanClustersPerTuned = float64(sumClusters) / float64(st.TunedDies)
-	}
-	return st, nil
-}
-
-// accumulate folds one die's result into the running sums (means are still
-// raw sums here; YieldStream normalizes them once at the end).
-func (st *YieldStats) accumulate(r *TuneResult, limit float64, sumIters, sumClusters *int) {
-	st.MeanBetaPct += r.BetaActual * 100
-	if r.BetaActual*100 > st.WorstBetaPct {
-		st.WorstBetaPct = r.BetaActual * 100
-	}
-	if r.DcritBeforePS <= limit {
-		st.MetBefore++
-	}
-	if r.Met {
-		st.MetAfter++
-	}
-	st.MeanLeakBeforeNW += r.LeakBeforeNW
-	st.MeanLeakAfterNW += r.LeakAfterNW
-	if r.Solution != nil {
-		st.TunedDies++
-		st.MeanLeakTunedOnlyNW += r.LeakAfterNW
-		*sumIters += r.Iters
-		*sumClusters += r.Solution.Clusters
-	}
-	if !r.Met {
-		st.FailedCompensations++
-	}
+	return acc.stats(), nil
 }
